@@ -1,0 +1,88 @@
+//! Best-response engine benchmarks: the Section 5.3 reduction (our
+//! Gurobi replacement) across view sizes, exact vs greedy, Max vs Sum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_core::{GameSpec, GameState, PlayerView};
+use ncg_solver::{max_br, sum_br, Mode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tree_state(n: usize, seed: u64) -> GameState {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tree = ncg_graph::generators::random_tree(n, &mut rng);
+    GameState::from_graph_random_ownership(&tree, &mut rng)
+}
+
+fn er_state(n: usize, p: f64, seed: u64) -> GameState {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = ncg_graph::generators::gnp_connected(n, p, 1000, &mut rng).unwrap();
+    GameState::from_graph_random_ownership(&g, &mut rng)
+}
+
+fn bench_max_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_best_response_exact");
+    group.sample_size(15);
+    // Local views on a big tree.
+    let tree = tree_state(200, 1);
+    for k in [2u32, 5, 10] {
+        let spec = GameSpec::max(1.0, k);
+        let view = PlayerView::build(&tree, 0, k);
+        group.bench_with_input(BenchmarkId::new("tree200_k", k), &view, |b, view| {
+            b.iter(|| max_br::max_best_response(&spec, view, Mode::Exact))
+        });
+    }
+    // Full-knowledge views on the paper's n = 100 ER row.
+    let er = er_state(100, 0.1, 2);
+    let spec = GameSpec::max(1.0, 1000);
+    let view = PlayerView::build(&er, 0, 1000);
+    group.bench_function("er100_full_view", |b| {
+        b.iter(|| max_br::max_best_response(&spec, &view, Mode::Exact))
+    });
+    group.finish();
+}
+
+fn bench_max_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_best_response_greedy");
+    group.sample_size(15);
+    let er = er_state(100, 0.1, 2);
+    let spec = GameSpec::max(1.0, 1000);
+    let view = PlayerView::build(&er, 0, 1000);
+    group.bench_function("er100_full_view", |b| {
+        b.iter(|| max_br::max_best_response(&spec, &view, Mode::Greedy))
+    });
+    group.finish();
+}
+
+fn bench_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sum_best_response");
+    group.sample_size(15);
+    let tree = tree_state(80, 3);
+    // Small view: exact enumeration path.
+    let spec2 = GameSpec::sum(1.0, 2);
+    let view2 = PlayerView::build(&tree, 0, 2);
+    group.bench_function("tree80_k2_exact", |b| {
+        b.iter(|| sum_br::sum_best_response(&spec2, &view2, Mode::Exact))
+    });
+    // Large view: hill-climb path.
+    let spec_full = GameSpec::sum(1.0, 1000);
+    let view_full = PlayerView::build(&tree, 0, 1000);
+    group.bench_function("tree80_full_hillclimb", |b| {
+        b.iter(|| sum_br::sum_best_response(&spec_full, &view_full, Mode::Greedy))
+    });
+    group.finish();
+}
+
+fn bench_view_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_build");
+    group.sample_size(20);
+    let er = er_state(200, 0.05, 4);
+    for k in [2u32, 4, 1000] {
+        group.bench_with_input(BenchmarkId::new("er200_k", k), &k, |b, &k| {
+            b.iter(|| PlayerView::build(&er, 17, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_exact, bench_max_greedy, bench_sum, bench_view_build);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Dynamics-figure benchmarks: one Criterion target per experimental
+//! figure of Section 5 (Figures 5–10), each regenerating its series at
+//! the smoke profile. These are end-to-end: workload generation,
+//! round-robin dynamics with exact best responses, aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncg_experiments::{figure10, figure5, figure6, figure7, figure8, figure9, Profile};
+
+fn profile() -> Profile {
+    Profile::smoke()
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_view_size");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure5::run(&p)));
+    group.finish();
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_quality_vs_n");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure6::run(&p)));
+    group.finish();
+}
+
+fn bench_figure7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_quality_vs_k");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure7::run(&p)));
+    group.finish();
+}
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_degree_bought");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure8::run(&p)));
+    group.finish();
+}
+
+fn bench_figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_unfairness");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure9::run(&p)));
+    group.finish();
+}
+
+fn bench_figure10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_convergence");
+    group.sample_size(10);
+    let p = profile();
+    group.bench_function("smoke", |b| b.iter(|| figure10::run(&p)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure5,
+    bench_figure6,
+    bench_figure7,
+    bench_figure8,
+    bench_figure9,
+    bench_figure10
+);
+criterion_main!(benches);

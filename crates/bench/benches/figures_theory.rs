@@ -1,0 +1,38 @@
+//! Theory-figure benchmarks: the Figure 3 / Figure 4 region maps and
+//! the Figure 1–2 torus constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_constructions::TorusGrid;
+use ncg_experiments::{figure3, figure4, figures12, Profile};
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_regions");
+    group.sample_size(20);
+    let profile = Profile::smoke();
+    group.bench_function("maxncg_map", |b| b.iter(|| figure3::run(&profile)));
+    group.finish();
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_regions");
+    group.sample_size(20);
+    let profile = Profile::smoke();
+    group.bench_function("sumncg_map", |b| b.iter(|| figure4::run(&profile)));
+    group.finish();
+}
+
+fn bench_figures12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_2_torus_build");
+    group.sample_size(10);
+    let profile = Profile::smoke();
+    group.bench_function("both_figures_with_dot", |b| b.iter(|| figures12::run(&profile)));
+    for (name, deltas, ell) in [("fig1", vec![15u32, 5], 2u32), ("fig2", vec![3, 4], 2)] {
+        group.bench_with_input(BenchmarkId::new("construct", name), &(deltas, ell), |b, (d, l)| {
+            b.iter(|| TorusGrid::closed(d, *l).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3, bench_figure4, bench_figures12);
+criterion_main!(benches);

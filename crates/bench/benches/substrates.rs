@@ -1,0 +1,99 @@
+//! Substrate micro-benchmarks: the BFS kernels, graph metrics,
+//! generators and the dominating-set core that every experiment
+//! bottoms out in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncg_graph::bfs::{bfs, DistanceBuffer};
+use ncg_graph::{generators, metrics, view};
+use ncg_solver::bitset::BitSet;
+use ncg_solver::dominating::DominationInstance;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(20);
+    for n in [100usize, 400] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::gnp_connected(n, 8.0 / n as f64, 1000, &mut rng).unwrap();
+        let mut buf = DistanceBuffer::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("single_source", n), &g, |b, g| {
+            b.iter(|| bfs(g, 0, &mut buf))
+        });
+        // Ablation: the frozen CSR layout vs the mutable Vec<Vec<_>>.
+        let csr = ncg_graph::CsrGraph::from_graph(&g);
+        let mut csr_buf = DistanceBuffer::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("single_source_csr", n), &csr, |b, csr| {
+            b.iter(|| csr.bfs(0, &mut csr_buf))
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs_parallel", n), &g, |b, g| {
+            b.iter(|| black_box(metrics::distance_matrix(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("all_pairs_csr_sequential", n), &csr, |b, csr| {
+            b.iter(|| black_box(csr.distance_matrix()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let g = generators::gnp_connected(200, 0.05, 1000, &mut rng).unwrap();
+    group.bench_function("diameter_n200", |b| b.iter(|| metrics::diameter(black_box(&g))));
+    group.bench_function("girth_n200", |b| b.iter(|| metrics::girth(black_box(&g))));
+    group.bench_function("power2_n200", |b| b.iter(|| view::power(black_box(&g), 2)));
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("random_tree_n200", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| generators::random_tree(200, &mut rng))
+    });
+    group.bench_function("gnp_n200_p0.1", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| generators::gnp(200, 0.1, &mut rng).unwrap())
+    });
+    group.bench_function("high_girth_n120_q3_g6", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            generators::high_girth(generators::HighGirthParams::new(120, 3, 6), &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dominating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominating_set");
+    group.sample_size(15);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for (n, p) in [(60usize, 0.1), (120, 0.06)] {
+        let g = generators::gnp_connected(n, p, 1000, &mut rng).unwrap();
+        let covers: Vec<BitSet> = (0..n as u32)
+            .map(|s| {
+                let mut b = BitSet::new(n);
+                b.insert(s);
+                for &v in g.neighbors(s) {
+                    b.insert(v);
+                }
+                b
+            })
+            .collect();
+        let inst = DominationInstance { covers, universe: BitSet::full(n), forced: vec![] };
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &inst, |b, inst| {
+            b.iter(|| inst.solve_exact(usize::MAX))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &inst, |b, inst| {
+            b.iter(|| inst.solve_greedy())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_metrics, bench_generators, bench_dominating);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table regeneration benchmarks: Table I (random trees) and Table II
+//! (Erdős–Rényi), at the smoke profile so a bench run stays fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncg_experiments::{table1, table2, Profile};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_random_trees");
+    group.sample_size(10);
+    let profile = Profile::smoke();
+    group.bench_function("smoke_profile", |b| b.iter(|| table1::run(&profile)));
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_er_graphs");
+    group.sample_size(10);
+    let profile = Profile::smoke();
+    group.bench_function("smoke_profile", |b| b.iter(|| table2::run(&profile)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # ncg-constructions — the paper's lower-bound gadgets
+//!
+//! Executable versions of the three families of equilibrium graphs
+//! that drive every PoA lower bound in the paper, each paired with a
+//! *certifier* that checks the LKE property computationally via the
+//! exact solver:
+//!
+//! * [`cycle`] — Lemma 3.1: the successor-owned cycle, an LKE for
+//!   `α ≥ k − 1`, witnessing `PoA = Ω(n/(1+α))`.
+//! * [`high_girth`] — Lemma 3.2 / Theorem 4.3: quasi-`q`-regular
+//!   graphs of girth `≥ 2k+2`, whose views are trees.
+//! * [`torus`] — Section 3.1's stretched toroidal grid (Figures 1–2):
+//!   the `d`-dimensional construction with per-dimension sizes
+//!   `δ₁ … δ_d` and stretch `ℓ`, including the exact coordinate
+//!   scheme, path ownership, `F_h` sets and the Lemma 3.3 distance
+//!   bound. Instantiations for Theorem 3.12 (MaxNCG) and Theorem 4.2
+//!   (SumNCG) are provided.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cycle;
+pub mod high_girth;
+pub mod torus;
+
+pub use torus::TorusGrid;

@@ -1,0 +1,77 @@
+//! Ownership-aware DOT export: renders a [`GameState`] as a Graphviz
+//! digraph in which an arc `u -> v` means "player `u` bought the edge
+//! towards `v`" (double-bought edges appear as two opposing arcs).
+//!
+//! Useful for debugging equilibria and for illustrating the
+//! lower-bound constructions, whose ownership pattern (interior path
+//! vertices buying backwards) is the crux of their stability.
+
+use std::fmt::Write as _;
+
+use ncg_graph::NodeId;
+
+use crate::GameState;
+
+/// Options for [`to_ownership_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct OwnershipDotOptions {
+    /// Digraph name (default `g`).
+    pub name: String,
+    /// Nodes to highlight (filled), e.g. a player's view.
+    pub highlight: Vec<NodeId>,
+}
+
+/// Renders the state as a DOT digraph of purchases.
+pub fn to_ownership_dot(state: &GameState, opts: &OwnershipDotOptions) -> String {
+    let name = if opts.name.is_empty() { "g" } else { &opts.name };
+    let mut highlight = opts.highlight.clone();
+    highlight.sort_unstable();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for u in 0..state.n() as NodeId {
+        if highlight.binary_search(&u).is_ok() {
+            let _ = writeln!(out, "  {u} [style=filled, fillcolor=lightgray];");
+        } else {
+            let _ = writeln!(out, "  {u};");
+        }
+    }
+    for u in 0..state.n() as NodeId {
+        for &v in state.strategy(u) {
+            let _ = writeln!(out, "  {u} -> {v};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_follow_ownership() {
+        let state = GameState::from_strategies(3, vec![vec![1], vec![0, 2], vec![]]);
+        let dot = to_ownership_dot(&state, &OwnershipDotOptions::default());
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 0;"), "double-bought edge renders both arcs");
+        assert!(dot.contains("1 -> 2;"));
+        assert!(!dot.contains("2 -> 1;"));
+    }
+
+    #[test]
+    fn highlight_marks_nodes() {
+        let state = GameState::cycle_successor(4);
+        let opts = OwnershipDotOptions { name: "cyc".into(), highlight: vec![2] };
+        let dot = to_ownership_dot(&state, &opts);
+        assert!(dot.starts_with("digraph cyc {"));
+        assert!(dot.contains("2 [style=filled"));
+        assert!(!dot.contains("1 [style=filled"));
+    }
+
+    #[test]
+    fn empty_state_renders() {
+        let dot = to_ownership_dot(&GameState::new(0), &OwnershipDotOptions::default());
+        assert!(dot.contains("digraph g {"));
+    }
+}

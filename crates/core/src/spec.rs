@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// Comparison slack for floating-point costs.
+///
+/// Player costs are `α·(integer) + (integer)`; with the `α` grid used
+/// by the paper (multiples of 0.025) the smallest nonzero cost
+/// difference is `0.025`, so `1e-9` cleanly separates "strictly
+/// better" from rounding noise.
+pub const EPS: f64 = 1e-9;
+
+/// Which usage cost the players pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// MaxNCG: usage cost is the player's eccentricity (Eq. (2)).
+    Max,
+    /// SumNCG: usage cost is the sum of distances, her *status* (Eq. (1)).
+    Sum,
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::Max => write!(f, "MaxNCG"),
+            Objective::Sum => write!(f, "SumNCG"),
+        }
+    }
+}
+
+/// The parameters of one game instance: edge price `α`, knowledge
+/// radius `k`, and the objective (Max or Sum).
+///
+/// `k` is a radius in hops; the paper's "full knowledge" runs use
+/// `k = 1000`, far above any diameter reached — [`GameSpec::full_knowledge`]
+/// reproduces that convention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameSpec {
+    /// Edge activation cost `α > 0`.
+    pub alpha: f64,
+    /// Knowledge radius `k ≥ 1`.
+    pub k: u32,
+    /// Usage-cost objective.
+    pub objective: Objective,
+}
+
+impl GameSpec {
+    /// MaxNCG with the given `α` and `k`.
+    pub fn max(alpha: f64, k: u32) -> Self {
+        GameSpec { alpha, k, objective: Objective::Max }
+    }
+
+    /// SumNCG with the given `α` and `k`.
+    pub fn sum(alpha: f64, k: u32) -> Self {
+        GameSpec { alpha, k, objective: Objective::Sum }
+    }
+
+    /// The paper's full-knowledge convention: `k = 1000`.
+    pub fn full_knowledge(alpha: f64, objective: Objective) -> Self {
+        GameSpec { alpha, k: 1000, objective }
+    }
+
+    /// Total cost of a player buying `bought` edges with the given
+    /// usage cost; `None` usage (disconnection) is `+∞`.
+    #[inline]
+    pub fn total_cost(&self, bought: usize, usage: Option<u64>) -> f64 {
+        match usage {
+            Some(u) => self.alpha * bought as f64 + u as f64,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Whether cost `a` is strictly better (smaller) than `b`, with
+    /// [`EPS`] slack.
+    #[inline]
+    pub fn strictly_better(a: f64, b: f64) -> bool {
+        a < b - EPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_combines_alpha_and_usage() {
+        let spec = GameSpec::max(2.5, 3);
+        assert!((spec.total_cost(2, Some(4)) - 9.0).abs() < 1e-12);
+        assert_eq!(spec.total_cost(0, Some(0)), 0.0);
+    }
+
+    #[test]
+    fn disconnection_is_infinitely_costly() {
+        let spec = GameSpec::sum(0.1, 2);
+        assert!(spec.total_cost(5, None).is_infinite());
+    }
+
+    #[test]
+    fn strictly_better_uses_eps_slack() {
+        assert!(GameSpec::strictly_better(1.0, 1.1));
+        assert!(!GameSpec::strictly_better(1.0, 1.0));
+        assert!(!GameSpec::strictly_better(1.0, 1.0 + EPS / 2.0));
+        assert!(!GameSpec::strictly_better(1.1, 1.0));
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let m = GameSpec::max(1.0, 4);
+        assert_eq!(m.objective, Objective::Max);
+        assert_eq!(m.k, 4);
+        let s = GameSpec::sum(1.0, 4);
+        assert_eq!(s.objective, Objective::Sum);
+        let f = GameSpec::full_knowledge(2.0, Objective::Max);
+        assert_eq!(f.k, 1000);
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(Objective::Max.to_string(), "MaxNCG");
+        assert_eq!(Objective::Sum.to_string(), "SumNCG");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = GameSpec::max(0.025, 7);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GameSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,362 @@
+use ncg_graph::{Graph, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A strategy profile together with the graph it induces.
+///
+/// `strategies[u]` is the sorted list of nodes player `u` buys edges
+/// to (`σ_u`). The induced graph `G(σ)` contains the edge `(u, v)` iff
+/// `v ∈ σ_u` **or** `u ∈ σ_v`; both players buying the same edge is
+/// legal (each pays `α`) but yields a single graph edge. The two
+/// representations are kept in sync by every mutator and checked by
+/// [`GameState::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GameState {
+    strategies: Vec<Vec<NodeId>>,
+    graph: Graph,
+}
+
+impl GameState {
+    /// The edgeless profile on `n` players.
+    pub fn new(n: usize) -> Self {
+        GameState { strategies: vec![Vec::new(); n], graph: Graph::new(n) }
+    }
+
+    /// Builds a state from explicit strategies.
+    ///
+    /// Strategy lists are sorted and deduplicated; self-purchases
+    /// (`u ∈ σ_u`) are rejected.
+    ///
+    /// # Panics
+    /// Panics if any strategy mentions an out-of-range node or the
+    /// player herself.
+    pub fn from_strategies(n: usize, strategies: Vec<Vec<NodeId>>) -> Self {
+        assert_eq!(strategies.len(), n, "one strategy per player required");
+        let mut graph = Graph::new(n);
+        let mut cleaned = Vec::with_capacity(n);
+        for (u, mut sigma) in strategies.into_iter().enumerate() {
+            sigma.sort_unstable();
+            sigma.dedup();
+            for &v in &sigma {
+                assert!((v as usize) < n, "strategy of {u} mentions out-of-range node {v}");
+                assert_ne!(v as usize, u, "player {u} cannot buy an edge to herself");
+                graph.add_edge(u as NodeId, v);
+            }
+            cleaned.push(sigma);
+        }
+        GameState { strategies: cleaned, graph }
+    }
+
+    /// Builds a state from a plain graph by assigning each edge to one
+    /// of its endpoints with a fair coin toss — exactly how the paper
+    /// seeds its experiments ("the owner of each edge was chosen
+    /// uniformly at random between its endpoints").
+    pub fn from_graph_random_ownership<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Self {
+        let n = graph.node_count();
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (u, v) in graph.edges() {
+            if rng.random::<bool>() {
+                strategies[u as usize].push(v);
+            } else {
+                strategies[v as usize].push(u);
+            }
+        }
+        for sigma in &mut strategies {
+            sigma.sort_unstable();
+        }
+        GameState { strategies, graph: graph.clone() }
+    }
+
+    /// Builds a state from a graph and an explicit owner for each
+    /// edge: `owner(u, v)` must return the endpoint (`u` or `v`) that
+    /// buys the edge. Used by the lower-bound constructions, which
+    /// prescribe exact ownership.
+    ///
+    /// # Panics
+    /// Panics if `owner` returns a node that is not an endpoint.
+    pub fn from_graph_with_owners(
+        graph: &Graph,
+        mut owner: impl FnMut(NodeId, NodeId) -> NodeId,
+    ) -> Self {
+        let n = graph.node_count();
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (u, v) in graph.edges() {
+            let w = owner(u, v);
+            assert!(w == u || w == v, "owner({u},{v}) = {w} is not an endpoint");
+            let other = if w == u { v } else { u };
+            strategies[w as usize].push(other);
+        }
+        for sigma in &mut strategies {
+            sigma.sort_unstable();
+        }
+        GameState { strategies, graph: graph.clone() }
+    }
+
+    /// The cycle profile of Lemma 3.1: players `0..n` on a cycle, each
+    /// buying the edge to her successor `(u+1) mod n`.
+    pub fn cycle_successor(n: usize) -> Self {
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        if n >= 3 {
+            for u in 0..n {
+                strategies[u].push(((u + 1) % n) as NodeId);
+            }
+        } else if n == 2 {
+            strategies[0].push(1);
+        }
+        Self::from_strategies(n, strategies)
+    }
+
+    /// The star profile: the center `0` buys all edges (a social
+    /// optimum for `α > 1`).
+    pub fn star_center_owned(n: usize) -> Self {
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        if n > 0 {
+            strategies[0] = (1..n as NodeId).collect();
+        }
+        Self::from_strategies(n, strategies)
+    }
+
+    /// Number of players.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// The induced graph `G(σ)`.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Player `u`'s purchase list `σ_u` (sorted).
+    #[inline]
+    pub fn strategy(&self, u: NodeId) -> &[NodeId] {
+        &self.strategies[u as usize]
+    }
+
+    /// Number of edges `u` buys, `|σ_u|`.
+    #[inline]
+    pub fn bought(&self, u: NodeId) -> usize {
+        self.strategies[u as usize].len()
+    }
+
+    /// Whether `u` owns (bought) the edge towards `v`.
+    #[inline]
+    pub fn owns(&self, u: NodeId, v: NodeId) -> bool {
+        self.strategies[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The players that bought an edge *towards* `u` (her in-neighbours
+    /// in the ownership digraph). These edges survive any move by `u`.
+    pub fn incoming(&self, u: NodeId) -> Vec<NodeId> {
+        self.graph
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| self.owns(v, u))
+            .collect()
+    }
+
+    /// Maximum `|σ_u|` over all players (the paper's "max bought
+    /// edges" statistic).
+    pub fn max_bought(&self) -> usize {
+        self.strategies.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of purchases `Σ_u |σ_u|`. At least `edge_count`
+    /// (strictly more if any edge is double-bought).
+    pub fn total_bought(&self) -> usize {
+        self.strategies.iter().map(Vec::len).sum()
+    }
+
+    /// Replaces `σ_u` with `new_strategy`, updating the graph.
+    ///
+    /// Removed purchases only delete a graph edge if the other
+    /// endpoint does not also own it; added purchases only create an
+    /// edge if not already present.
+    ///
+    /// # Panics
+    /// Panics if the strategy mentions out-of-range nodes or `u`
+    /// herself.
+    pub fn set_strategy(&mut self, u: NodeId, mut new_strategy: Vec<NodeId>) {
+        new_strategy.sort_unstable();
+        new_strategy.dedup();
+        for &v in &new_strategy {
+            assert!((v as usize) < self.n(), "strategy of {u} mentions out-of-range node {v}");
+            assert_ne!(v, u, "player {u} cannot buy an edge to herself");
+        }
+        let old = std::mem::take(&mut self.strategies[u as usize]);
+        // Edges dropped by u stay iff the other endpoint owns them too.
+        for &v in &old {
+            if new_strategy.binary_search(&v).is_err() && !self.owns(v, u) {
+                self.graph.remove_edge(u, v);
+            }
+        }
+        for &v in &new_strategy {
+            self.graph.add_edge(u, v); // no-op if already present
+        }
+        self.strategies[u as usize] = new_strategy;
+        debug_assert!(self.validate().is_ok());
+    }
+
+    /// Exhaustive consistency check between strategies and graph.
+    pub fn validate(&self) -> Result<(), String> {
+        self.graph.validate()?;
+        if self.graph.node_count() != self.strategies.len() {
+            return Err("player count disagrees with graph".into());
+        }
+        let n = self.n();
+        for (u, sigma) in self.strategies.iter().enumerate() {
+            if !sigma.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("strategy of {u} not strictly sorted"));
+            }
+            for &v in sigma {
+                if v as usize >= n {
+                    return Err(format!("strategy of {u} mentions out-of-range {v}"));
+                }
+                if v as usize == u {
+                    return Err(format!("player {u} buys an edge to herself"));
+                }
+                if !self.graph.has_edge(u as NodeId, v) {
+                    return Err(format!("purchase ({u},{v}) missing from graph"));
+                }
+            }
+        }
+        for (u, v) in self.graph.edges() {
+            if !self.owns(u, v) && !self.owns(v, u) {
+                return Err(format!("edge ({u},{v}) has no owner"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn from_strategies_builds_union_graph() {
+        let s = GameState::from_strategies(4, vec![vec![1], vec![0, 2], vec![], vec![2]]);
+        // (0,1) double-bought → one edge; (1,2); (3,2).
+        assert_eq!(s.graph().edge_count(), 3);
+        assert_eq!(s.total_bought(), 4);
+        assert!(s.owns(0, 1) && s.owns(1, 0));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn incoming_lists_other_players_purchases() {
+        let s = GameState::from_strategies(4, vec![vec![1], vec![0, 2], vec![], vec![2]]);
+        assert_eq!(s.incoming(2), vec![1, 3]);
+        assert_eq!(s.incoming(0), vec![1]);
+        assert_eq!(s.incoming(3), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn set_strategy_keeps_double_bought_edges() {
+        let mut s = GameState::from_strategies(3, vec![vec![1], vec![0], vec![]]);
+        // 0 drops her purchase of (0,1); 1 still owns it → edge stays.
+        s.set_strategy(0, vec![]);
+        assert!(s.graph().has_edge(0, 1));
+        assert_eq!(s.bought(0), 0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn set_strategy_removes_solely_owned_edges() {
+        let mut s = GameState::from_strategies(3, vec![vec![1, 2], vec![], vec![]]);
+        s.set_strategy(0, vec![2]);
+        assert!(!s.graph().has_edge(0, 1));
+        assert!(s.graph().has_edge(0, 2));
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn set_strategy_adds_new_edges() {
+        let mut s = GameState::new(4);
+        s.set_strategy(0, vec![3, 1]);
+        assert_eq!(s.strategy(0), &[1, 3]);
+        assert_eq!(s.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn set_strategy_dedups() {
+        let mut s = GameState::new(3);
+        s.set_strategy(0, vec![1, 1, 2, 1]);
+        assert_eq!(s.strategy(0), &[1, 2]);
+        assert_eq!(s.graph().edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot buy an edge to herself")]
+    fn self_purchase_panics() {
+        GameState::from_strategies(2, vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn cycle_successor_profile() {
+        let s = GameState::cycle_successor(5);
+        assert_eq!(s.graph().edge_count(), 5);
+        for u in 0..5u32 {
+            assert_eq!(s.bought(u), 1);
+            assert!(s.owns(u, (u + 1) % 5));
+        }
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_successor_tiny() {
+        assert_eq!(GameState::cycle_successor(2).graph().edge_count(), 1);
+        assert_eq!(GameState::cycle_successor(1).graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn star_profile() {
+        let s = GameState::star_center_owned(6);
+        assert_eq!(s.bought(0), 5);
+        assert_eq!(s.max_bought(), 5);
+        assert_eq!(s.graph().max_degree(), 5);
+    }
+
+    #[test]
+    fn random_ownership_covers_every_edge_once() {
+        let g = ncg_graph::generators::gnp(40, 0.2, &mut ChaCha8Rng::seed_from_u64(3)).unwrap();
+        let s = GameState::from_graph_random_ownership(&g, &mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(s.total_bought(), g.edge_count());
+        assert_eq!(s.graph(), &g);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn explicit_ownership() {
+        let g = ncg_graph::generators::path(4);
+        // Always the larger endpoint buys.
+        let s = GameState::from_graph_with_owners(&g, |u, v| u.max(v));
+        assert_eq!(s.strategy(1), &[0]);
+        assert_eq!(s.strategy(2), &[1]);
+        assert_eq!(s.strategy(3), &[2]);
+        assert_eq!(s.bought(0), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = GameState::cycle_successor(7);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GameState = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_tampered_state() {
+        let s = GameState::cycle_successor(4);
+        let mut json: serde_json::Value = serde_json::to_value(&s).unwrap();
+        // Corrupt: player 0 claims to buy an edge the graph lacks.
+        json["strategies"][0] = serde_json::json!([2]);
+        let bad: GameState = serde_json::from_value(json).unwrap();
+        assert!(bad.validate().is_err());
+    }
+}

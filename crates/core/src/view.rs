@@ -1,0 +1,232 @@
+//! Player views: the radius-`k` ball a player actually knows.
+//!
+//! A [`PlayerView`] snapshots everything Propositions 2.1/2.2 need to
+//! evaluate deviations: the induced ball subgraph `H`, the center's
+//! current purchases and incoming edges (both mapped to local ids),
+//! the center-to-node distances, and — precomputed because every
+//! candidate evaluation needs it — the graph `H ∖ {center}`.
+
+use ncg_graph::view::{view_subgraph, Subgraph};
+use ncg_graph::{NodeId, INFINITY};
+
+use crate::GameState;
+
+/// Everything player `u` knows at radius `k`, in local coordinates.
+///
+/// Local ids are dense `0..len()`; [`PlayerView::sub`] holds the
+/// local↔global mapping. All strategy-like fields (`purchases`,
+/// `incoming`) are sorted local ids.
+#[derive(Debug, Clone)]
+pub struct PlayerView {
+    /// The induced ball subgraph `H` with its id mapping.
+    pub sub: Subgraph,
+    /// The player, in local coordinates.
+    pub center: NodeId,
+    /// The player, in global coordinates.
+    pub center_global: NodeId,
+    /// The knowledge radius the view was built with.
+    pub k: u32,
+    /// Local ids of the nodes `u` currently buys edges to.
+    pub purchases: Vec<NodeId>,
+    /// Local ids of players owning an edge towards `u`; these edges
+    /// survive any move by `u` and cost her nothing.
+    pub incoming: Vec<NodeId>,
+    /// `dist[v]` = distance from the center to local node `v` in `H`
+    /// (equal to the distance in the full graph, since shortest paths
+    /// to nodes at distance `≤ k` stay inside the ball).
+    pub dist: Vec<u32>,
+    /// `H ∖ {center}`: the view with the center detached, the graph on
+    /// which candidate strategies are evaluated via multi-source BFS.
+    pub graph_minus_center: ncg_graph::Graph,
+}
+
+impl PlayerView {
+    /// Builds the view of player `u` at radius `k` from the current
+    /// state.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn build(state: &GameState, u: NodeId, k: u32) -> Self {
+        let sub = view_subgraph(state.graph(), u, k);
+        let center =
+            sub.to_local(u).expect("center is always inside her own ball");
+        let to_local = |globals: &[NodeId]| -> Vec<NodeId> {
+            let mut locals: Vec<NodeId> = globals
+                .iter()
+                .map(|&g| {
+                    sub.to_local(g)
+                        .expect("distance-1 neighbours are always inside the ball")
+                })
+                .collect();
+            locals.sort_unstable();
+            locals
+        };
+        let purchases = to_local(state.strategy(u));
+        let incoming = to_local(&state.incoming(u));
+        let mut buf = ncg_graph::bfs::DistanceBuffer::with_capacity(sub.len());
+        ncg_graph::bfs::bfs(&sub.graph, center, &mut buf);
+        let dist = buf.distances().to_vec();
+        debug_assert!(
+            dist.iter().all(|&d| d != INFINITY),
+            "every node of the ball must be reachable from its center"
+        );
+        let mut graph_minus_center = sub.graph.clone();
+        graph_minus_center.detach_node(center);
+        PlayerView {
+            sub,
+            center,
+            center_global: u,
+            k,
+            purchases,
+            incoming,
+            dist,
+            graph_minus_center,
+        }
+    }
+
+    /// Number of nodes the player sees (including herself) — the
+    /// paper's "view size" statistic of Figure 5.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sub.len()
+    }
+
+    /// Whether the view contains only the player herself.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sub.len() <= 1
+    }
+
+    /// The frontier `F`: local ids at distance exactly `k` — the
+    /// vertices whose distance a SumNCG player must never increase
+    /// beyond `k` (Proposition 2.2).
+    pub fn frontier(&self) -> Vec<NodeId> {
+        (0..self.len() as NodeId)
+            .filter(|&v| self.dist[v as usize] == self.k)
+            .collect()
+    }
+
+    /// All legal purchase targets: every visible node except the
+    /// player herself (the strategy space of the local game).
+    pub fn candidates(&self) -> Vec<NodeId> {
+        (0..self.len() as NodeId).filter(|&v| v != self.center).collect()
+    }
+
+    /// The player's current eccentricity *within the view*, i.e. the
+    /// usage cost she can actually observe (equals `min(ecc_G(u), k)`
+    /// on connected graphs).
+    pub fn ecc_in_view(&self) -> u32 {
+        self.dist.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The player's current status (sum of distances) within the view.
+    pub fn status_in_view(&self) -> u64 {
+        self.dist.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Maps a local strategy back to global node ids (sorted).
+    pub fn strategy_to_global(&self, local: &[NodeId]) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = local.iter().map(|&l| self.sub.to_global(l)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GameState;
+
+    fn path_state(n: usize) -> GameState {
+        // Path 0-1-…-(n-1); player i buys the edge to i+1.
+        let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for i in 0..n - 1 {
+            strategies[i].push((i + 1) as NodeId);
+        }
+        GameState::from_strategies(n, strategies)
+    }
+
+    #[test]
+    fn view_of_path_center() {
+        let s = path_state(9);
+        let v = PlayerView::build(&s, 4, 2);
+        assert_eq!(v.len(), 5); // nodes 2..=6
+        assert_eq!(v.sub.local_to_global, vec![2, 3, 4, 5, 6]);
+        assert_eq!(v.center_global, 4);
+        assert_eq!(v.ecc_in_view(), 2);
+        assert_eq!(v.status_in_view(), 0 + 1 + 1 + 2 + 2);
+    }
+
+    #[test]
+    fn purchases_and_incoming_are_local_and_correct() {
+        let s = path_state(9);
+        let v = PlayerView::build(&s, 4, 2);
+        // Player 4 buys the edge to 5; player 3 bought the edge to 4.
+        let l5 = v.sub.to_local(5).unwrap();
+        let l3 = v.sub.to_local(3).unwrap();
+        assert_eq!(v.purchases, vec![l5]);
+        assert_eq!(v.incoming, vec![l3]);
+    }
+
+    #[test]
+    fn frontier_is_distance_exactly_k() {
+        let s = path_state(9);
+        let v = PlayerView::build(&s, 4, 2);
+        let mut frontier_global: Vec<NodeId> =
+            v.frontier().iter().map(|&l| v.sub.to_global(l)).collect();
+        frontier_global.sort_unstable();
+        assert_eq!(frontier_global, vec![2, 6]);
+    }
+
+    #[test]
+    fn full_knowledge_view_sees_everything() {
+        let s = GameState::cycle_successor(8);
+        let v = PlayerView::build(&s, 3, 1000);
+        assert_eq!(v.len(), 8);
+        assert!(v.frontier().is_empty());
+        assert_eq!(v.ecc_in_view(), 4);
+    }
+
+    #[test]
+    fn graph_minus_center_detaches_center_only() {
+        let s = GameState::cycle_successor(6);
+        let v = PlayerView::build(&s, 0, 2);
+        assert_eq!(v.graph_minus_center.degree(v.center), 0);
+        // Remaining nodes keep their mutual edges: the ball of radius 2
+        // on a 6-cycle is a path of 5 nodes; minus the center, 4 edges
+        // minus the 2 incident to the center = 2.
+        assert_eq!(v.graph_minus_center.edge_count(), 2);
+    }
+
+    #[test]
+    fn candidates_exclude_center() {
+        let s = GameState::cycle_successor(5);
+        let v = PlayerView::build(&s, 2, 1);
+        assert_eq!(v.len(), 3);
+        let cands = v.candidates();
+        assert_eq!(cands.len(), 2);
+        assert!(!cands.contains(&v.center));
+    }
+
+    #[test]
+    fn strategy_to_global_round_trip() {
+        let s = GameState::cycle_successor(7);
+        let v = PlayerView::build(&s, 3, 2);
+        let locals = v.candidates();
+        let globals = v.strategy_to_global(&locals);
+        assert_eq!(globals.len(), locals.len());
+        for g in &globals {
+            assert!(v.sub.to_local(*g).is_some());
+        }
+    }
+
+    #[test]
+    fn view_size_one_for_isolated_player() {
+        let s = GameState::new(3);
+        let v = PlayerView::build(&s, 1, 5);
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.ecc_in_view(), 0);
+        assert!(v.candidates().is_empty());
+    }
+}

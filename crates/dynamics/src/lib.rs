@@ -1,0 +1,45 @@
+//! # ncg-dynamics — best-response dynamics (Section 5.1 of the paper)
+//!
+//! Simulates the iterated locality-based game exactly as the paper's
+//! experiments do:
+//!
+//! > *"The players play in turns, following a round-robin policy […]
+//! > we compute a best-response strategy according to her local
+//! > knowledge of the network, and whenever this strategy is strictly
+//! > better than the current one we update the network. […] We
+//! > continue until we attain an equilibrium […] we check if the last
+//! > strategy profile of the current round already appeared as the
+//! > last strategy profile of any previous round"* — in which case the
+//! dynamics cycles and no equilibrium will ever be reached.
+//!
+//! * [`run`] — one dynamics from a given initial
+//!   [`GameState`](ncg_core::GameState); deterministic (round-robin
+//!   order, deterministic solver).
+//! * [`run_many`] — rayon-parallel batch over independent initial
+//!   states, results in input order.
+//! * [`StateMetrics`] — the per-network statistics the paper collects
+//!   after every round (diameter, social cost, degrees, bought edges,
+//!   view sizes, fairness).
+//!
+//! ## Example
+//!
+//! ```
+//! use ncg_core::{GameSpec, GameState};
+//! use ncg_dynamics::{run, DynamicsConfig, Outcome};
+//!
+//! let initial = GameState::cycle_successor(10);
+//! let config = DynamicsConfig::new(GameSpec::max(1.0, 3));
+//! let result = run(initial, &config);
+//! assert!(matches!(result.outcome, Outcome::Converged { .. }));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod runner;
+mod trace;
+
+pub use metrics::StateMetrics;
+pub use runner::{run, run_many, run_with, DynamicsConfig, Outcome, RunResult};
+pub use trace::{MoveEvent, Trace};

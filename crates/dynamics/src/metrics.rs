@@ -1,0 +1,142 @@
+//! Per-network statistics — the quantities the paper collects after
+//! each round and reports in Figures 5–10.
+
+use ncg_core::{social, GameSpec, GameState};
+use ncg_graph::metrics as gmetrics;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of every statistic the experimental section plots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMetrics {
+    /// Number of players.
+    pub n: usize,
+    /// Number of edges of `G(σ)`.
+    pub edges: usize,
+    /// Diameter (`None` if disconnected).
+    pub diameter: Option<u32>,
+    /// Social cost (`None` if disconnected).
+    pub social_cost: Option<f64>,
+    /// `SC/OPT` — the "quality of equilibrium" of Figures 6–7.
+    pub quality: Option<f64>,
+    /// Maximum node degree (Figure 8, left).
+    pub max_degree: usize,
+    /// Average node degree.
+    pub avg_degree: f64,
+    /// Maximum `|σ_u|` (Figure 8, right; Tables I–II).
+    pub max_bought: usize,
+    /// Average `|σ_u|`.
+    pub avg_bought: f64,
+    /// Smallest view size over players (Figure 5, right).
+    pub min_view: usize,
+    /// Mean view size over players (Figure 5, left).
+    pub avg_view: f64,
+    /// Max/min player cost ratio (Figure 9); `None` if degenerate.
+    pub unfairness: Option<f64>,
+}
+
+impl StateMetrics {
+    /// Measures a state under the given spec (view sizes use `spec.k`).
+    pub fn measure(state: &GameState, spec: &GameSpec) -> Self {
+        let g = state.graph();
+        let n = state.n();
+        let mut min_view = usize::MAX;
+        let mut view_total = 0usize;
+        for u in 0..n as u32 {
+            // Only the ball size is needed — avoid building the full
+            // induced subgraph machinery of PlayerView.
+            let size = ncg_graph::view::ball(g, u, spec.k).len();
+            min_view = min_view.min(size);
+            view_total += size;
+        }
+        if n == 0 {
+            min_view = 0;
+        }
+        StateMetrics {
+            n,
+            edges: g.edge_count(),
+            diameter: gmetrics::diameter(g),
+            social_cost: social::social_cost(state, spec),
+            quality: social::quality(state, spec),
+            max_degree: g.max_degree(),
+            avg_degree: g.avg_degree(),
+            max_bought: state.max_bought(),
+            avg_bought: if n == 0 { 0.0 } else { state.total_bought() as f64 / n as f64 },
+            min_view,
+            avg_view: if n == 0 { 0.0 } else { view_total as f64 / n as f64 },
+            unfairness: social::unfairness(state, spec),
+        }
+    }
+
+    /// Convenience: the view-size statistics alone, which Figure 5
+    /// plots (min and mean over players).
+    pub fn view_sizes(state: &GameState, k: u32) -> (usize, f64) {
+        let g = state.graph();
+        let n = state.n();
+        if n == 0 {
+            return (0, 0.0);
+        }
+        let mut min = usize::MAX;
+        let mut total = 0usize;
+        for u in 0..n as u32 {
+            let size = ncg_graph::view::ball(g, u, k).len();
+            min = min.min(size);
+            total += size;
+        }
+        (min, total as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::GameSpec;
+
+    #[test]
+    fn star_metrics_are_exact() {
+        let state = GameState::star_center_owned(9);
+        let spec = GameSpec::max(2.0, 3);
+        let m = StateMetrics::measure(&state, &spec);
+        assert_eq!(m.n, 9);
+        assert_eq!(m.edges, 8);
+        assert_eq!(m.diameter, Some(2));
+        assert_eq!(m.max_degree, 8);
+        assert_eq!(m.max_bought, 8);
+        assert!((m.avg_bought - 8.0 / 9.0).abs() < 1e-12);
+        // k = 3 ≥ diameter: everyone sees everything.
+        assert_eq!(m.min_view, 9);
+        assert!((m.avg_view - 9.0).abs() < 1e-12);
+        // Quality 1: star is optimal at α = 2.
+        assert!((m.quality.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_sizes_on_cycle() {
+        let state = GameState::cycle_successor(10);
+        let (min, avg) = StateMetrics::view_sizes(&state, 2);
+        assert_eq!(min, 5);
+        assert!((avg - 5.0).abs() < 1e-12);
+        let (min, avg) = StateMetrics::view_sizes(&state, 1000);
+        assert_eq!(min, 10);
+        assert!((avg - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_state_has_none_fields() {
+        let state = GameState::from_strategies(4, vec![vec![1], vec![], vec![3], vec![]]);
+        let m = StateMetrics::measure(&state, &GameSpec::max(1.0, 2));
+        assert_eq!(m.diameter, None);
+        assert_eq!(m.social_cost, None);
+        assert_eq!(m.quality, None);
+        assert_eq!(m.unfairness, None);
+        assert_eq!(m.edges, 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let state = GameState::cycle_successor(6);
+        let m = StateMetrics::measure(&state, &GameSpec::sum(1.0, 2));
+        let back: StateMetrics =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+}

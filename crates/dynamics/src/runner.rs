@@ -1,0 +1,333 @@
+//! The round-robin best-response loop with cycle detection.
+
+use std::collections::HashMap;
+
+use ncg_core::deviation::current_total;
+use ncg_core::equilibrium::BestResponder;
+use ncg_core::{GameSpec, GameState, PlayerView};
+use ncg_solver::{Mode, Responder};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::StateMetrics;
+
+/// Configuration of one dynamics run.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicsConfig {
+    /// Game parameters (`α`, `k`, objective).
+    pub spec: GameSpec,
+    /// Best-response effort (exact reproduces the paper; greedy is the
+    /// ablation).
+    pub mode: Mode,
+    /// Safety cap on rounds; the paper's runs converge in ≤ 7 rounds
+    /// almost always, so the default of 200 is generous.
+    pub max_rounds: usize,
+    /// Record a [`StateMetrics`] snapshot after every round (the
+    /// paper does; off by default to keep sweeps lean).
+    pub per_round_metrics: bool,
+    /// Record a move-level [`Trace`](crate::Trace) (off by default).
+    pub record_trace: bool,
+}
+
+impl DynamicsConfig {
+    /// Defaults: exact responses, 200-round cap, no per-round metrics,
+    /// no trace.
+    pub fn new(spec: GameSpec) -> Self {
+        DynamicsConfig {
+            spec,
+            mode: Mode::Exact,
+            max_rounds: 200,
+            per_round_metrics: false,
+            record_trace: false,
+        }
+    }
+
+    /// Switches to greedy best responses.
+    pub fn greedy(mut self) -> Self {
+        self.mode = Mode::Greedy;
+        self
+    }
+
+    /// Enables per-round metric snapshots.
+    pub fn with_per_round_metrics(mut self) -> Self {
+        self.per_round_metrics = true;
+        self
+    }
+
+    /// Enables the move-level event log.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// How a dynamics run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// A full round passed with no strategy change: equilibrium.
+    Converged {
+        /// Rounds executed, *including* the final quiet round.
+        rounds: usize,
+    },
+    /// The end-of-round profile repeated an earlier one: with
+    /// round-robin order the dynamics is periodic and will never
+    /// reach an equilibrium (the paper observed 5 cycles in ≈36 000
+    /// runs).
+    Cycled {
+        /// Round at which the repeated profile first appeared.
+        first_seen: usize,
+        /// Round at which the repetition was detected.
+        repeated_at: usize,
+    },
+    /// The safety cap was hit without convergence or a detected cycle.
+    MaxRoundsExceeded,
+}
+
+impl Outcome {
+    /// Whether the run reached an equilibrium.
+    pub fn converged(&self) -> bool {
+        matches!(self, Outcome::Converged { .. })
+    }
+}
+
+/// The result of one dynamics run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Terminal condition.
+    pub outcome: Outcome,
+    /// The final state (the equilibrium when `outcome.converged()`).
+    pub state: GameState,
+    /// Total accepted strategy changes across all rounds.
+    pub total_moves: usize,
+    /// Metrics of the final state.
+    pub final_metrics: StateMetrics,
+    /// Per-round snapshots if requested in the config.
+    pub round_metrics: Vec<StateMetrics>,
+    /// Move-level event log if requested in the config.
+    pub trace: Option<crate::Trace>,
+}
+
+/// Runs round-robin best-response dynamics from `initial` until
+/// equilibrium, cycle, or the round cap. Deterministic.
+pub fn run(initial: GameState, config: &DynamicsConfig) -> RunResult {
+    let mut responder = Responder { mode: config.mode };
+    run_with(initial, config, &mut responder)
+}
+
+/// Like [`run`], but with a caller-provided best-response engine —
+/// any [`BestResponder`], including closures. The engine must be
+/// deterministic for the cycle detection to be sound (a repeated
+/// end-of-round profile then proves periodicity).
+pub fn run_with<B: BestResponder>(
+    initial: GameState,
+    config: &DynamicsConfig,
+    responder: &mut B,
+) -> RunResult {
+    let mut state = initial;
+    let spec = config.spec;
+    let n = state.n();
+    let mut seen: HashMap<Vec<Vec<u32>>, usize> = HashMap::new();
+    let mut total_moves = 0usize;
+    let mut round_metrics = Vec::new();
+    let mut trace = if config.record_trace { Some(crate::Trace::new()) } else { None };
+    let profile_of =
+        |state: &GameState| -> Vec<Vec<u32>> { (0..n as u32).map(|u| state.strategy(u).to_vec()).collect() };
+    seen.insert(profile_of(&state), 0);
+    let mut outcome = Outcome::MaxRoundsExceeded;
+    for round in 1..=config.max_rounds {
+        let mut moves_this_round = 0usize;
+        for u in 0..n as u32 {
+            let view = PlayerView::build(&state, u, spec.k);
+            let current = current_total(&spec, &view);
+            let best = responder.best_response(&spec, &view);
+            if GameSpec::strictly_better(best.total_cost, current) {
+                let global = view.strategy_to_global(&best.strategy_local);
+                if let Some(trace) = trace.as_mut() {
+                    trace.events.push(crate::MoveEvent {
+                        round,
+                        player: u,
+                        old_strategy: state.strategy(u).to_vec(),
+                        new_strategy: global.clone(),
+                        old_cost: current,
+                        new_cost: best.total_cost,
+                        view_size: view.len(),
+                    });
+                }
+                state.set_strategy(u, global);
+                moves_this_round += 1;
+            }
+        }
+        total_moves += moves_this_round;
+        if config.per_round_metrics {
+            round_metrics.push(StateMetrics::measure(&state, &spec));
+        }
+        if moves_this_round == 0 {
+            outcome = Outcome::Converged { rounds: round };
+            break;
+        }
+        // Round-robin + deterministic responses ⇒ a repeated
+        // end-of-round profile proves a best-response cycle.
+        let profile = profile_of(&state);
+        if let Some(&first_seen) = seen.get(&profile) {
+            outcome = Outcome::Cycled { first_seen, repeated_at: round };
+            break;
+        }
+        seen.insert(profile, round);
+    }
+    let final_metrics = StateMetrics::measure(&state, &spec);
+    RunResult { outcome, state, total_moves, final_metrics, round_metrics, trace }
+}
+
+/// Runs many independent dynamics in parallel (rayon); results are in
+/// input order regardless of scheduling.
+pub fn run_many(initials: Vec<GameState>, config: &DynamicsConfig) -> Vec<RunResult> {
+    initials.into_par_iter().map(|initial| run(initial, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::Objective;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stable_cycle_converges_immediately() {
+        // Lemma 3.1 equilibrium: one quiet round, zero moves.
+        let result = run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(3.0, 2)));
+        assert_eq!(result.outcome, Outcome::Converged { rounds: 1 });
+        assert_eq!(result.total_moves, 0);
+    }
+
+    #[test]
+    fn unstable_cycle_converges_to_low_diameter() {
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 6));
+        let result = run(GameState::cycle_successor(12), &config);
+        assert!(result.outcome.converged());
+        assert!(result.total_moves > 0);
+        let d = result.final_metrics.diameter.unwrap();
+        assert!(d <= 4, "cheap edges should collapse the cycle, diameter {d}");
+        // The reached profile must be an LKE (exact responder).
+        assert!(ncg_solver::is_lke(&result.state, &config.spec));
+    }
+
+    #[test]
+    fn dynamics_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let tree = ncg_graph::generators::random_tree(30, &mut rng);
+        let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+        let config = DynamicsConfig::new(GameSpec::max(1.0, 3));
+        let a = run(initial.clone(), &config);
+        let b = run(initial, &config);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.total_moves, b.total_moves);
+    }
+
+    #[test]
+    fn converged_states_are_lke_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..3 {
+            let tree = ncg_graph::generators::random_tree(20, &mut rng);
+            let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+            for (alpha, k) in [(0.5, 2u32), (2.0, 3), (5.0, 2)] {
+                let config = DynamicsConfig::new(GameSpec::max(alpha, k));
+                let result = run(initial.clone(), &config);
+                if result.outcome.converged() {
+                    assert!(
+                        ncg_solver::is_lke(&result.state, &config.spec),
+                        "converged state must be an LKE (α={alpha}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_round_metrics_are_recorded() {
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 6)).with_per_round_metrics();
+        let result = run(GameState::cycle_successor(12), &config);
+        if let Outcome::Converged { rounds } = result.outcome {
+            assert_eq!(result.round_metrics.len(), rounds);
+            // Last snapshot equals the final metrics.
+            assert_eq!(result.round_metrics.last().unwrap(), &result.final_metrics);
+        } else {
+            panic!("expected convergence");
+        }
+    }
+
+    #[test]
+    fn greedy_mode_still_converges_on_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let tree = ncg_graph::generators::random_tree(25, &mut rng);
+        let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+        let config = DynamicsConfig::new(GameSpec::max(1.0, 3)).greedy();
+        let result = run(initial, &config);
+        assert!(result.outcome.converged() || matches!(result.outcome, Outcome::Cycled { .. }));
+    }
+
+    #[test]
+    fn sum_dynamics_run_end_to_end() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let tree = ncg_graph::generators::random_tree(12, &mut rng);
+        let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+        let config = DynamicsConfig::new(GameSpec {
+            alpha: 1.5,
+            k: 2,
+            objective: Objective::Sum,
+        });
+        let result = run(initial, &config);
+        assert!(result.outcome.converged(), "SumNCG dynamics should settle on a small tree");
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let initials: Vec<GameState> = (0..6)
+            .map(|_| {
+                let t = ncg_graph::generators::random_tree(15, &mut rng);
+                GameState::from_graph_random_ownership(&t, &mut rng)
+            })
+            .collect();
+        let config = DynamicsConfig::new(GameSpec::max(1.0, 3));
+        let parallel = run_many(initials.clone(), &config);
+        for (initial, par) in initials.into_iter().zip(&parallel) {
+            let seq = run(initial, &config);
+            assert_eq!(seq.state, par.state);
+            assert_eq!(seq.outcome, par.outcome);
+        }
+    }
+
+    #[test]
+    fn trace_records_every_accepted_move() {
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 6)).with_trace();
+        let result = run(GameState::cycle_successor(12), &config);
+        let trace = result.trace.expect("trace requested");
+        assert_eq!(trace.len(), result.total_moves);
+        for e in &trace.events {
+            assert!(e.new_cost < e.old_cost, "every move strictly improves");
+            assert!(e.view_size >= 2);
+            assert_ne!(e.old_strategy, e.new_strategy);
+        }
+        // Replaying the trace from the initial state reproduces the
+        // final profile.
+        let mut replay = GameState::cycle_successor(12);
+        for e in &trace.events {
+            replay.set_strategy(e.player, e.new_strategy.clone());
+        }
+        assert_eq!(replay, result.state);
+        // Traces are off by default.
+        let untraced = run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(0.5, 6)));
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn max_rounds_cap_is_respected() {
+        // A cap of 0 rounds leaves the state untouched.
+        let config = DynamicsConfig { max_rounds: 0, ..DynamicsConfig::new(GameSpec::max(0.1, 5)) };
+        let initial = GameState::cycle_successor(10);
+        let result = run(initial.clone(), &config);
+        assert_eq!(result.outcome, Outcome::MaxRoundsExceeded);
+        assert_eq!(result.state, initial);
+    }
+}

@@ -1,0 +1,151 @@
+//! Move-level tracing: a structured event log of a dynamics run.
+//!
+//! The aggregate metrics of [`crate::StateMetrics`] answer *what* the
+//! stable networks look like; researchers replicating the paper's
+//! Section 5 often also need *how* they formed — who moved when, what
+//! they dropped and bought, and how their perceived cost fell. A
+//! [`Trace`] records exactly that, one [`MoveEvent`] per accepted
+//! strategy change, serialisable to JSON lines.
+
+use ncg_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One accepted strategy change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoveEvent {
+    /// Round number (1-based, as in [`crate::Outcome::Converged`]).
+    pub round: usize,
+    /// The player that moved.
+    pub player: NodeId,
+    /// Her strategy before the move (global ids, sorted).
+    pub old_strategy: Vec<NodeId>,
+    /// Her strategy after the move (global ids, sorted).
+    pub new_strategy: Vec<NodeId>,
+    /// Her perceived (view-local, worst-case) cost before.
+    pub old_cost: f64,
+    /// Her perceived cost after — strictly smaller by construction.
+    pub new_cost: f64,
+    /// Size of her view when she moved.
+    pub view_size: usize,
+}
+
+impl MoveEvent {
+    /// Edges bought by the move (in `new` but not `old`).
+    pub fn bought(&self) -> Vec<NodeId> {
+        self.new_strategy
+            .iter()
+            .copied()
+            .filter(|v| self.old_strategy.binary_search(v).is_err())
+            .collect()
+    }
+
+    /// Edges dropped by the move (in `old` but not `new`).
+    pub fn dropped(&self) -> Vec<NodeId> {
+        self.old_strategy
+            .iter()
+            .copied()
+            .filter(|v| self.new_strategy.binary_search(v).is_err())
+            .collect()
+    }
+
+    /// The perceived improvement `old_cost − new_cost` (positive).
+    pub fn improvement(&self) -> f64 {
+        self.old_cost - self.new_cost
+    }
+}
+
+/// The full event log of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Accepted moves, in execution order.
+    pub events: Vec<MoveEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded moves.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no move was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Moves of a given round.
+    pub fn round(&self, round: usize) -> impl Iterator<Item = &MoveEvent> + '_ {
+        self.events.iter().filter(move |e| e.round == round)
+    }
+
+    /// Moves of a given player.
+    pub fn by_player(&self, player: NodeId) -> impl Iterator<Item = &MoveEvent> + '_ {
+        self.events.iter().filter(move |e| e.player == player)
+    }
+
+    /// Total perceived improvement across all moves.
+    pub fn total_improvement(&self) -> f64 {
+        self.events.iter().map(MoveEvent::improvement).sum()
+    }
+
+    /// Serialises as JSON lines (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("events are serialisable"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(round: usize, player: NodeId) -> MoveEvent {
+        MoveEvent {
+            round,
+            player,
+            old_strategy: vec![1, 3],
+            new_strategy: vec![1, 4, 5],
+            old_cost: 10.0,
+            new_cost: 7.5,
+            view_size: 9,
+        }
+    }
+
+    #[test]
+    fn bought_and_dropped_are_set_differences() {
+        let e = event(1, 0);
+        assert_eq!(e.bought(), vec![4, 5]);
+        assert_eq!(e.dropped(), vec![3]);
+        assert!((e.improvement() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_filters() {
+        let mut t = Trace::new();
+        t.events.push(event(1, 0));
+        t.events.push(event(1, 2));
+        t.events.push(event(2, 0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.round(1).count(), 2);
+        assert_eq!(t.by_player(0).count(), 2);
+        assert!((t.total_improvement() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut t = Trace::new();
+        t.events.push(event(1, 7));
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        let back: MoveEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(back, t.events[0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 3: the MaxNCG `(α, k)` bound map — region labels plus the
+//! evaluated lower/upper PoA bounds on a log-spaced grid at a fixed
+//! (large) `n`, regenerating the information content of the paper's
+//! region diagram.
+
+use ncg_bounds::maxncg;
+use ncg_stats::Table;
+
+use crate::output::grid_table;
+use crate::{ExperimentOutput, Profile};
+
+/// The `n` the asymptotic map is evaluated at (`2^30`: large enough
+/// that the region boundaries separate cleanly).
+pub const MAP_N: usize = 1 << 30;
+
+fn region_label(r: maxncg::Region) -> &'static str {
+    match r {
+        maxncg::Region::FullKnowledge => "NE≡LKE",
+        maxncg::Region::R1 => "1",
+        maxncg::Region::R2 => "2",
+        maxncg::Region::R3 => "3",
+        maxncg::Region::R4 => "4",
+        maxncg::Region::R5 => "5",
+        maxncg::Region::R6 => "6",
+        maxncg::Region::R7 => "7",
+        maxncg::Region::R8 => "8",
+    }
+}
+
+/// Runs the Figure 3 map (profile only tags the notes).
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figure3");
+    out.notes = format!(
+        "Figure 3 — MaxNCG (α, k) region map at n = 2^30 with evaluated bounds \
+         (constants = 1); profile: {}",
+        profile.name
+    );
+    let alphas: Vec<f64> = (0..12).map(|i| 2f64.powi(2 * i - 1)).collect(); // 0.5 … 2^21
+    let ks: Vec<u32> = (0..14).map(|i| 1u32 << i).collect(); // 1 … 8192
+    let row_labels: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+    let col_labels: Vec<String> = alphas.iter().map(|a| format!("α={a}")).collect();
+    let regions = grid_table("k \\ α", &row_labels, &col_labels, |ri, ci| {
+        region_label(maxncg::region(MAP_N, alphas[ci], ks[ri])).to_string()
+    });
+    out.push_table("regions", regions);
+
+    let mut bounds = Table::new(["alpha", "k", "region", "lower", "upper"]);
+    for &alpha in &alphas {
+        for &k in &ks {
+            let b = maxncg::bounds(MAP_N, alpha, k);
+            bounds.push_row([
+                format!("{alpha}"),
+                k.to_string(),
+                region_label(maxncg::region(MAP_N, alpha, k)).to_string(),
+                format!("{:.3e}", b.lower),
+                format!("{:.3e}", b.upper),
+            ]);
+        }
+    }
+    out.push_table("bounds", bounds);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_covers_the_grid() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables.len(), 2);
+        assert_eq!(out.tables[0].1.len(), 14); // one row per k
+        assert_eq!(out.tables[1].1.len(), 12 * 14);
+    }
+
+    #[test]
+    fn gray_region_appears_for_large_k() {
+        let out = run(&Profile::smoke());
+        let csv = out.tables[0].1.render(ncg_stats::TableStyle::Csv);
+        assert!(csv.contains("NE≡LKE"));
+    }
+}

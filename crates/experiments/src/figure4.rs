@@ -1,0 +1,62 @@
+//! Figure 4: the SumNCG `(α, k)` lower-bound map — for each grid
+//! point, whether LKE ≡ NE (Theorem 4.4), the applicable lower bound
+//! (Theorems 4.2 / 4.3), or "open" (the region between `Θ(∛α)` and
+//! `Θ(√α)` the paper leaves unresolved).
+
+use ncg_bounds::sumncg;
+
+use crate::output::grid_table;
+use crate::{ExperimentOutput, Profile};
+
+/// The `n` the asymptotic map is evaluated at.
+pub const MAP_N: usize = 1 << 30;
+
+/// Runs the Figure 4 map (profile only tags the notes).
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figure4");
+    out.notes = format!(
+        "Figure 4 — SumNCG (α, k) map at n = 2^30: NE≡LKE region (k > 1 + 2√α), \
+         evaluated lower bounds, and the open region; profile: {}",
+        profile.name
+    );
+    let alphas: Vec<f64> = (0..12).map(|i| 4f64.powi(i)).collect(); // 1 … 4^11
+    let ks: Vec<u32> = (0..12).map(|i| 1u32 << i).collect();
+    let row_labels: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+    let col_labels: Vec<String> = alphas.iter().map(|a| format!("α={a}")).collect();
+    let map = grid_table("k \\ α", &row_labels, &col_labels, |ri, ci| {
+        let (alpha, k) = (alphas[ci], ks[ri]);
+        if sumncg::lke_equals_ne(alpha, k) {
+            "NE≡LKE".to_string()
+        } else {
+            let lb = sumncg::lower_bound(MAP_N, alpha, k);
+            if lb > 1.0 {
+                format!("LB {lb:.2e}")
+            } else {
+                "open".to_string()
+            }
+        }
+    });
+    out.push_table("map", map);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_contains_all_three_zones() {
+        let out = run(&Profile::smoke());
+        let csv = out.tables[0].1.render(ncg_stats::TableStyle::Csv);
+        assert!(csv.contains("NE≡LKE"));
+        assert!(csv.contains("LB "));
+        assert!(csv.contains("open"));
+    }
+
+    #[test]
+    fn ne_region_is_upper_left() {
+        // Small α, large k ⇒ NE≡LKE; large α, small k ⇒ not.
+        assert!(sumncg::lke_equals_ne(1.0, 1024));
+        assert!(!sumncg::lke_equals_ne(4f64.powi(11), 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 6: quality of the stable networks (`SC/OPT`) as a function
+//! of `n`, one series per `k`, at `α = 1` (left panel) and `α = 10`
+//! (right panel), on random trees.
+//!
+//! Paper shape: for small `k` the quality degrades linearly with `n`
+//! (the PoA is `Θ(n)` there), while for `k` past the full-knowledge
+//! threshold it is almost constant.
+
+use ncg_core::Objective;
+use ncg_stats::Summary;
+
+use crate::output::grid_table;
+use crate::sweep::{by_cell, sweep};
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// The two `α` panels of the figure.
+pub const PANEL_ALPHAS: [f64; 2] = [1.0, 10.0];
+
+/// Runs the Figure 6 sweep under the given profile.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figure6");
+    out.notes = format!(
+        "Figure 6 — equilibrium quality vs n on random trees, α ∈ {{1, 10}}; profile: {} ({} reps)",
+        profile.name, profile.reps
+    );
+    let row_labels: Vec<String> = profile.tree_ns.iter().map(|n| n.to_string()).collect();
+    let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
+    for alpha in PANEL_ALPHAS {
+        // One sweep per tree size (the starting networks differ by n).
+        let mut qualities: Vec<Vec<Summary>> = Vec::new();
+        for &n in &profile.tree_ns {
+            let states = workloads::tree_states(n, profile.reps, profile.base_seed);
+            let results = sweep(&states, &[alpha], &profile.ks, Objective::Max, None);
+            let grouped = by_cell(&results, &[alpha], &profile.ks, profile.reps);
+            qualities.push(
+                grouped
+                    .iter()
+                    .map(|(_, cells)| {
+                        Summary::of(
+                            &cells
+                                .iter()
+                                .filter_map(|c| c.result.final_metrics.quality)
+                                .collect::<Vec<f64>>(),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        let table = grid_table("n", &row_labels, &col_labels, |ri, ci| {
+            qualities[ri][ci].display(2)
+        });
+        out.push_table(format!("quality_alpha{alpha}"), table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_panels_with_one_row_per_n() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables.len(), 2);
+        for (_, t) in &out.tables {
+            assert_eq!(t.len(), Profile::smoke().tree_ns.len());
+        }
+    }
+
+    #[test]
+    fn quality_degrades_with_n_for_small_k() {
+        // The Θ(n) regime: at α = 10, k = 2, quality grows with n.
+        let profile = Profile { reps: 4, ..Profile::smoke() };
+        let q = |n: usize| {
+            let states = workloads::tree_states(n, profile.reps, profile.base_seed);
+            let results = sweep(&states, &[10.0], &[2], Objective::Max, None);
+            let vals: Vec<f64> =
+                results.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let q_small = q(16);
+        let q_large = q(48);
+        assert!(
+            q_large > q_small,
+            "quality must degrade with n in the small-k regime: {q_large} vs {q_small}"
+        );
+    }
+
+    #[test]
+    fn full_knowledge_quality_is_near_constant() {
+        // At k = 1000 and α = 1 the equilibria are near-optimal stars
+        // or low-diameter graphs; quality stays small and flat-ish.
+        let profile = Profile { reps: 3, ..Profile::smoke() };
+        let q = |n: usize| {
+            let states = workloads::tree_states(n, profile.reps, profile.base_seed);
+            let results = sweep(&states, &[1.0], &[1000], Objective::Max, None);
+            let vals: Vec<f64> =
+                results.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let a = q(16);
+        let b = q(40);
+        assert!(a < 3.0 && b < 3.0, "full-knowledge equilibria should be near-optimal: {a}, {b}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 8: maximum degree (left) and maximum number of bought edges
+//! (right) of the stable networks, as a function of `α`, one series
+//! per `k` — Erdős–Rényi workloads (paper: `n = 100, p = 0.1`).
+//!
+//! Paper shape: for `k ≥ 4` and small `α` the max degree exceeds 80
+//! (hub formation) while no player ever buys more than ≈9 edges — the
+//! asymmetry that motivates the fairness discussion of Figure 9.
+
+use ncg_core::Objective;
+use ncg_stats::Summary;
+
+use crate::output::grid_table;
+use crate::sweep::{by_cell, sweep, CellResult};
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// Runs the Figure 8 sweep under the given profile.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let (n, p) = profile.headline_er();
+    let mut out = ExperimentOutput::new("figure8");
+    out.notes = format!(
+        "Figure 8 — max degree / max bought edges vs α on G({n}, {p}); profile: {} ({} reps)",
+        profile.name, profile.reps
+    );
+    let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
+    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
+    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
+    let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
+    let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
+    let summarise = |ri: usize, ci: usize, f: &dyn Fn(&CellResult) -> f64| {
+        let (_, cells) = grouped[ri * profile.ks.len() + ci];
+        Summary::of(&cells.iter().map(|c| f(c)).collect::<Vec<f64>>()).display(1)
+    };
+    let deg = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
+        summarise(ri, ci, &|c| c.result.final_metrics.max_degree as f64)
+    });
+    let bought = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
+        summarise(ri, ci, &|c| c.result.final_metrics.max_bought as f64)
+    });
+    out.push_table("max_degree", deg);
+    out.push_table("max_bought", bought);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hubs_form_under_cheap_edges_with_wide_views() {
+        let reps = 3;
+        let states = workloads::er_states(30, 0.15, reps, 11);
+        let results = sweep(&states, &[0.1], &[1000], Objective::Max, None);
+        for c in &results {
+            // With α = 0.1 and full knowledge the equilibrium is
+            // near-star-like: some node has high degree, yet no single
+            // player buys anywhere near n edges herself... but the
+            // *degree* of the hub (incoming purchases) is large.
+            assert!(
+                c.result.final_metrics.max_degree >= 15,
+                "expected hub formation, max_degree = {}",
+                c.result.final_metrics.max_degree
+            );
+        }
+    }
+
+    #[test]
+    fn bought_edges_bounded_by_degree() {
+        let out_states = workloads::er_states(24, 0.2, 2, 3);
+        let results = sweep(&out_states, &[0.5, 5.0], &[2, 1000], Objective::Max, None);
+        for c in &results {
+            assert!(c.result.final_metrics.max_bought <= c.result.final_metrics.max_degree);
+        }
+    }
+
+    #[test]
+    fn output_has_two_panels() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables.len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 9: the unfairness ratio (costliest player / cheapest
+//! player) of the stable networks as a function of `α`, one series
+//! per `k` — Erdős–Rényi workloads (paper: `n = 100, p = 0.1`).
+//!
+//! Paper observation: *small* values of `k` yield more fair equilibria
+//! — restricting the players' views flattens the cost distribution.
+
+use ncg_core::Objective;
+use ncg_stats::Summary;
+
+use crate::output::grid_table;
+use crate::sweep::{by_cell, sweep};
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// Runs the Figure 9 sweep under the given profile.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let (n, p) = profile.headline_er();
+    let mut out = ExperimentOutput::new("figure9");
+    out.notes = format!(
+        "Figure 9 — unfairness (max/min player cost) vs α on G({n}, {p}); profile: {} ({} reps)",
+        profile.name, profile.reps
+    );
+    let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
+    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
+    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
+    let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
+    let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
+    let table = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
+        let (_, cells) = grouped[ri * profile.ks.len() + ci];
+        Summary::of(
+            &cells
+                .iter()
+                .filter_map(|c| c.result.final_metrics.unfairness)
+                .collect::<Vec<f64>>(),
+        )
+        .display(2)
+    });
+    out.push_table("unfairness", table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_views_are_more_fair_than_full_knowledge() {
+        // The paper's qualitative claim, scaled down: compare the mean
+        // unfairness at k = 2 against k = 1000 for a cheap α where
+        // full knowledge builds hub-dominated (unfair) networks.
+        let reps = 3;
+        let states = workloads::er_states(28, 0.15, reps, 13);
+        let results = sweep(&states, &[0.3], &[2, 1000], Objective::Max, None);
+        let grouped = by_cell(&results, &[0.3], &[2, 1000], reps);
+        let mean_unfair = |i: usize| {
+            let (_, cells) = grouped[i];
+            let v: Vec<f64> =
+                cells.iter().filter_map(|c| c.result.final_metrics.unfairness).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let local = mean_unfair(0);
+        let full = mean_unfair(1);
+        assert!(
+            local <= full + 0.75,
+            "local views should be at least comparably fair: k=2 → {local}, k=1000 → {full}"
+        );
+    }
+
+    #[test]
+    fn unfairness_at_least_one() {
+        let out_states = workloads::er_states(20, 0.2, 2, 5);
+        let results = sweep(&out_states, &[1.0], &[3], Objective::Max, None);
+        for c in &results {
+            if let Some(u) = c.result.final_metrics.unfairness {
+                assert!(u >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].1.len(), Profile::smoke().alphas.len());
+    }
+}

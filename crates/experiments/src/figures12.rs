@@ -1,0 +1,95 @@
+//! Figures 1 and 2: the stretched toroidal grid constructions,
+//! re-built with the paper's exact illustration parameters, verified
+//! and exported as Graphviz DOT.
+//!
+//! * Figure 1: `d = 2`, `δ = (15, 5)`, `ℓ = 2` — the wide torus whose
+//!   red-highlighted view shows a player unaware of the wrap-around.
+//! * Figure 2: `d = 2`, `δ = (3, 4)`, `ℓ = 2` — the small example
+//!   with the gray view of the intersection vertex `(k*, k*)`.
+
+use ncg_constructions::TorusGrid;
+use ncg_graph::dot::{to_dot, DotOptions};
+use ncg_graph::metrics;
+use ncg_stats::Table;
+
+use crate::{ExperimentOutput, Profile};
+
+fn describe(name: &str, deltas: &[u32], ell: u32, k: u32, table: &mut Table, out: &mut ExperimentOutput) {
+    let t = TorusGrid::closed(deltas, ell).expect("paper parameters are valid");
+    let g = t.state().graph();
+    let diam = metrics::diameter(g).expect("torus is connected");
+    table.push_row([
+        name.to_string(),
+        format!("{deltas:?}"),
+        ell.to_string(),
+        t.n().to_string(),
+        t.intersections.to_string(),
+        g.edge_count().to_string(),
+        diam.to_string(),
+        t.diameter_lower_bound().to_string(),
+    ]);
+    // DOT artifact with the radius-k view of an intersection vertex
+    // highlighted, as in the paper's figures.
+    let center = 0u32;
+    let view = ncg_graph::view::ball(g, center, k);
+    let labels = (0..t.n() as u32)
+        .filter(|&id| t.is_intersection(id))
+        .map(|id| (id, format!("{:?}", t.coords[id as usize])))
+        .collect();
+    let dot = to_dot(g, &DotOptions { name: name.replace(['-', ' '], "_"), labels, highlight: view });
+    out.push_artifact(format!("{name}.dot"), dot);
+}
+
+/// Builds both figures' constructions; profile only tags the notes.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figures12");
+    out.notes = format!(
+        "Figures 1–2 — torus construction geometry (views of radius k = 4 highlighted \
+         in the DOT artifacts); profile: {}",
+        profile.name
+    );
+    let mut table = Table::new([
+        "figure",
+        "deltas",
+        "ell",
+        "n",
+        "intersections",
+        "edges",
+        "diameter",
+        "diam LB (ℓ·δ_d)",
+    ]);
+    describe("figure1", &[15, 5], 2, 4, &mut table, &mut out);
+    describe("figure2", &[3, 4], 2, 4, &mut table, &mut out);
+    out.push_table("geometry", table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_paper_figures() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables[0].1.len(), 2);
+        assert_eq!(out.artifacts.len(), 2);
+        assert!(out.artifacts[0].0.ends_with(".dot"));
+        assert!(out.artifacts[0].1.starts_with("graph"));
+    }
+
+    #[test]
+    fn figure1_has_450_vertices() {
+        // N = 2·15·5 = 150 intersections; n = N·(1 + 2·1) = 450.
+        let t = TorusGrid::closed(&[15, 5], 2).unwrap();
+        assert_eq!(t.intersections, 150);
+        assert_eq!(t.n(), 450);
+    }
+
+    #[test]
+    fn figure2_diameter_at_least_8() {
+        // Corollary 3.4: ℓ·δ₂ = 8.
+        let t = TorusGrid::closed(&[3, 4], 2).unwrap();
+        let d = metrics::diameter(t.state().graph()).unwrap();
+        assert!(d >= 8);
+    }
+}

@@ -1,0 +1,55 @@
+//! # ncg-experiments — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of
+//!
+//! > Bilò, Gualà, Leucci, Proietti. *Locality-based Network Creation
+//! > Games.* SPAA 2014 / ACM TOPC 3(1), 2016,
+//!
+//! each producing the same rows/series the paper reports (mean ± 95%
+//! CI over repeated runs) as aligned text and CSV:
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`table1`] | Table I — random-tree workload statistics |
+//! | [`table2`] | Table II — Erdős–Rényi workload statistics |
+//! | [`figures12`] | Figures 1–2 — torus construction geometry + DOT |
+//! | [`figure3`] | Figure 3 — MaxNCG bound region map |
+//! | [`figure4`] | Figure 4 — SumNCG bound region map |
+//! | [`figure5`] | Figure 5 — view sizes at equilibrium vs `α`, per `k` |
+//! | [`figure6`] | Figure 6 — equilibrium quality vs `n` (α = 1 and 10) |
+//! | [`figure7`] | Figure 7 — equilibrium quality vs `k` (α = 2) + trend |
+//! | [`figure8`] | Figure 8 — max degree / max bought edges vs `α` |
+//! | [`figure9`] | Figure 9 — unfairness ratio vs `α` |
+//! | [`figure10`] | Figure 10 — convergence rounds vs `α` and vs `n` |
+//! | [`lower_bounds`] | Lemma 3.1 / 3.2, Theorems 3.12 / 4.2 certifications |
+//! | [`sum_extension`] | *extension*: SumNCG dynamics sweep + Theorem 4.4 check |
+//!
+//! Every experiment takes a [`Profile`]: [`Profile::quick`] (default;
+//! trimmed grids that finish in minutes on a laptop) or
+//! [`Profile::paper`] (the paper's exact 36 000-run grid — hours).
+//! Runs are seeded and bit-reproducible; the dynamics themselves are
+//! deterministic given the initial state.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figure10;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod figure6;
+pub mod figure7;
+pub mod figure8;
+pub mod figure9;
+pub mod figures12;
+pub mod lower_bounds;
+pub mod output;
+pub mod profile;
+pub mod sum_extension;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod workloads;
+
+pub use output::ExperimentOutput;
+pub use profile::Profile;

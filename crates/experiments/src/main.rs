@@ -1,0 +1,137 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! ncg-experiments <experiment> [--full] [--paper] [--out DIR] [--seed N] [--reps N]
+//!
+//! experiments: table1 table2 figures12 figure3 figure4 figure5
+//!              figure6 figure7 figure8 figure9 figure10
+//!              lower-bounds sum-extension all
+//! --full/--paper   use the paper's exact grid instead of the quick
+//!                  profile (with the paper's 20 repetitions this can
+//!                  take hours; combine with --reps to trade CI width
+//!                  for time)
+//! --out DIR        results directory (default: results/)
+//! --seed N         override the base seed
+//! --reps N         override the repetition count of the profile
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ncg_experiments::{
+    figure10, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figures12,
+    lower_bounds, sum_extension, table1, table2, ExperimentOutput, Profile,
+};
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "figures12", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "figure8", "figure9", "figure10", "lower-bounds", "sum-extension",
+];
+
+fn run_one(name: &str, profile: &Profile) -> Option<ExperimentOutput> {
+    let out = match name {
+        "table1" => table1::run(profile),
+        "table2" => table2::run(profile),
+        "figures12" => figures12::run(profile),
+        "figure3" => figure3::run(profile),
+        "figure4" => figure4::run(profile),
+        "figure5" => figure5::run(profile),
+        "figure6" => figure6::run(profile),
+        "figure7" => figure7::run(profile),
+        "figure8" => figure8::run(profile),
+        "figure9" => figure9::run(profile),
+        "figure10" => figure10::run(profile),
+        "lower-bounds" => lower_bounds::run(profile),
+        "sum-extension" => sum_extension::run(profile),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ncg-experiments <experiment|all> [--full|--paper] [--out DIR] [--seed N]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut profile = Profile::quick();
+    let mut out_dir = PathBuf::from("results");
+    let mut seed_override: Option<u64> = None;
+    let mut reps_override: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" | "--paper" => profile = Profile::paper(),
+            "--smoke" => profile = Profile::smoke(),
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => return usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(seed) => seed_override = Some(seed),
+                    None => return usage(),
+                }
+            }
+            "--reps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(reps) if reps > 0 => reps_override = Some(reps),
+                    _ => return usage(),
+                }
+            }
+            name if !name.starts_with('-') && target.is_none() => {
+                target = Some(name.to_string());
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    // Apply overrides last so flag order does not matter.
+    if let Some(seed) = seed_override {
+        profile.base_seed = seed;
+    }
+    if let Some(reps) = reps_override {
+        profile.reps = reps;
+    }
+    let Some(target) = target else { return usage() };
+    let names: Vec<&str> = if target == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&target.as_str()) {
+        vec![target.as_str()]
+    } else {
+        return usage();
+    };
+    for name in names {
+        eprintln!("[ncg-experiments] running {name} with the '{}' profile…", profile.name);
+        let started = std::time::Instant::now();
+        let output = run_one(name, &profile).expect("name validated above");
+        println!("{}", output.render_console());
+        match output.write_to(&out_dir) {
+            Ok(paths) => {
+                for p in paths {
+                    eprintln!("[ncg-experiments]   wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("[ncg-experiments] failed to write results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "[ncg-experiments] {name} finished in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,155 @@
+//! Experiment output: named tables, console rendering, CSV + JSONL
+//! persistence under a results directory.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ncg_stats::{Table, TableStyle};
+
+/// The rendered artifacts of one experiment.
+#[derive(Debug, Default)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"table1"` or `"figure7"`.
+    pub name: String,
+    /// Named tables (file stem → table); an experiment may emit
+    /// several series (e.g. Figure 6's α = 1 and α = 10 panels).
+    pub tables: Vec<(String, Table)>,
+    /// Free-form notes (profile used, observations) included in the
+    /// console output and written alongside the CSVs.
+    pub notes: String,
+    /// Extra raw artifacts (file name → contents), e.g. DOT drawings
+    /// or JSONL run records.
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output for the given experiment id.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentOutput { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a table.
+    pub fn push_table(&mut self, stem: impl Into<String>, table: Table) {
+        self.tables.push((stem.into(), table));
+    }
+
+    /// Adds a raw artifact file.
+    pub fn push_artifact(&mut self, file_name: impl Into<String>, contents: impl Into<String>) {
+        self.artifacts.push((file_name.into(), contents.into()));
+    }
+
+    /// Renders everything to a console-friendly string.
+    pub fn render_console(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.name));
+        if !self.notes.is_empty() {
+            out.push_str(&self.notes);
+            if !self.notes.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        for (stem, table) in &self.tables {
+            out.push_str(&format!("\n-- {stem} --\n"));
+            out.push_str(&table.render(TableStyle::Text));
+        }
+        out
+    }
+
+    /// Writes CSVs, notes and artifacts under `dir` (created if
+    /// missing). Returns the written paths.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (stem, table) in &self.tables {
+            let path = dir.join(format!("{}_{stem}.csv", self.name));
+            fs::write(&path, table.render(TableStyle::Csv))?;
+            written.push(path);
+        }
+        if !self.notes.is_empty() {
+            let path = dir.join(format!("{}_notes.txt", self.name));
+            let mut f = fs::File::create(&path)?;
+            writeln!(f, "{}", self.notes.trim_end())?;
+            written.push(path);
+        }
+        for (file_name, contents) in &self.artifacts {
+            let path = dir.join(file_name);
+            fs::write(&path, contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// Builds a grid-shaped table: one row per `row_labels` entry, one
+/// column per `col_labels` entry (plus the leading row-label column),
+/// cells produced by `cell(row_idx, col_idx)`.
+pub fn grid_table(
+    row_name: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    mut cell: impl FnMut(usize, usize) -> String,
+) -> Table {
+    let mut header: Vec<String> = vec![row_name.to_string()];
+    header.extend(col_labels.iter().cloned());
+    let mut table = Table::new(header);
+    for (ri, rl) in row_labels.iter().enumerate() {
+        let mut row: Vec<String> = vec![rl.clone()];
+        for ci in 0..col_labels.len() {
+            row.push(cell(ri, ci));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_table_shapes_correctly() {
+        let t = grid_table(
+            "alpha",
+            &["0.5".into(), "2".into()],
+            &["k=2".into(), "k=3".into(), "k=4".into()],
+            |r, c| format!("{r}/{c}"),
+        );
+        assert_eq!(t.len(), 2);
+        let csv = t.render(TableStyle::Csv);
+        assert!(csv.starts_with("alpha,k=2,k=3,k=4\n"));
+        assert!(csv.contains("0.5,0/0,0/1,0/2"));
+    }
+
+    #[test]
+    fn console_rendering_includes_everything() {
+        let mut out = ExperimentOutput::new("demo");
+        out.notes = "profile: quick".into();
+        let mut t = Table::new(["a"]);
+        t.push_row(["1"]);
+        out.push_table("series", t);
+        let text = out.render_console();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("profile: quick"));
+        assert!(text.contains("-- series --"));
+    }
+
+    #[test]
+    fn write_to_creates_files() {
+        let dir = std::env::temp_dir().join(format!("ncg_out_test_{}", std::process::id()));
+        let mut out = ExperimentOutput::new("demo");
+        out.notes = "hello".into();
+        let mut t = Table::new(["x", "y"]);
+        t.push_row(["1", "2"]);
+        out.push_table("main", t);
+        out.push_artifact("demo_extra.dot", "graph g {}\n");
+        let written = out.write_to(&dir).unwrap();
+        assert_eq!(written.len(), 3);
+        for p in &written {
+            assert!(p.exists(), "{p:?} missing");
+        }
+        let csv = fs::read_to_string(dir.join("demo_main.csv")).unwrap();
+        assert!(csv.starts_with("x,y\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

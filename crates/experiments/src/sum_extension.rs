@@ -1,0 +1,112 @@
+//! **Extension (beyond the paper):** a small-scale SumNCG dynamics
+//! sweep.
+//!
+//! The paper restricts its experiments to MaxNCG because computing a
+//! SumNCG best response lacks a practical exact reduction (Section 5:
+//! "for MAXNCG it is computationally feasible to find a best-response
+//! strategy"). Section 6 lists exploring SumNCG's PoA space as future
+//! work. This module provides a first empirical cut at laptop scale:
+//! exact best responses on views small enough to enumerate, hill
+//! climbing beyond (see `ncg_solver::sum_br`), with the Theorem 4.4
+//! prediction checked on every converged run: for `k > 1 + 2√α`,
+//! stable networks must have diameter `≤ k` (players see everything).
+
+use ncg_core::Objective;
+use ncg_dynamics::Outcome;
+use ncg_stats::Summary;
+
+use crate::output::grid_table;
+use crate::sweep::{by_cell, sweep};
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// Runs the SumNCG extension sweep. Sizes are deliberately modest —
+/// the best responses are exponential-or-heuristic.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let n = profile.tree_ns.iter().copied().min().unwrap_or(20).min(30);
+    let mut out = ExperimentOutput::new("sum_extension");
+    let alphas: Vec<f64> =
+        profile.alphas.iter().copied().filter(|&a| (0.3..=5.0).contains(&a)).collect();
+    let ks: Vec<u32> = profile.ks.iter().copied().filter(|&k| k <= 7).collect();
+    out.notes = format!(
+        "EXTENSION (not in the paper): SumNCG best-response dynamics on random trees \
+         (n = {n}); exact enumeration on small views, hill climbing beyond; \
+         profile: {} ({} reps). Theorem 4.4 check: k > 1 + 2√α ⇒ equilibrium \
+         diameter ≤ k.",
+        profile.name, profile.reps
+    );
+    let states = workloads::tree_states(n, profile.reps, profile.base_seed ^ 0x5u64);
+    let results = sweep(&states, &alphas, &ks, Objective::Sum, None);
+    let grouped = by_cell(&results, &alphas, &ks, profile.reps);
+    let row_labels: Vec<String> = alphas.iter().map(|a| format!("{a}")).collect();
+    let col_labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
+    let quality = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
+        let (_, cells) = grouped[ri * ks.len() + ci];
+        Summary::of(
+            &cells.iter().filter_map(|c| c.result.final_metrics.quality).collect::<Vec<f64>>(),
+        )
+        .display(2)
+    });
+    let rounds = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
+        let (_, cells) = grouped[ri * ks.len() + ci];
+        Summary::of(
+            &cells
+                .iter()
+                .filter_map(|c| match c.result.outcome {
+                    Outcome::Converged { rounds } => Some(rounds as f64),
+                    _ => None,
+                })
+                .collect::<Vec<f64>>(),
+        )
+        .display(1)
+    });
+    // Theorem 4.4 verification column.
+    let mut violations = 0usize;
+    let mut checked = 0usize;
+    for ((alpha, k), cells) in &grouped {
+        if *k as f64 > 1.0 + 2.0 * alpha.sqrt() {
+            for c in *cells {
+                if c.result.outcome.converged() {
+                    checked += 1;
+                    if c.result.final_metrics.diameter.unwrap_or(u32::MAX) > *k {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+    }
+    out.notes.push_str(&format!(
+        " Checked {checked} converged runs in the Theorem 4.4 regime: {violations} violations."
+    ));
+    out.push_table("quality", quality);
+    out.push_table("rounds", rounds);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_extension_runs_and_respects_theorem_44() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables.len(), 2);
+        assert!(out.notes.contains("0 violations"), "{}", out.notes);
+    }
+
+    #[test]
+    fn sum_equilibria_are_denser_for_small_alpha() {
+        use ncg_core::Objective;
+        let states = workloads::tree_states(16, 3, 99);
+        let results = sweep(&states, &[0.5, 5.0], &[4], Objective::Sum, None);
+        let grouped = by_cell(&results, &[0.5, 5.0], &[4], 3);
+        let avg_edges = |i: usize| {
+            let (_, cells) = grouped[i];
+            cells.iter().map(|c| c.result.final_metrics.edges as f64).sum::<f64>()
+                / cells.len() as f64
+        };
+        assert!(
+            avg_edges(0) >= avg_edges(1),
+            "cheap edges must give at least as dense SumNCG equilibria"
+        );
+    }
+}

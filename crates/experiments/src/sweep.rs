@@ -1,0 +1,209 @@
+//! Parallel `(α, k, rep)` sweeps with deterministic result order.
+
+use ncg_core::{GameSpec, GameState, Objective};
+use ncg_dynamics::{run, DynamicsConfig, RunResult};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One completed dynamics run with its cell coordinates.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Edge price of the cell.
+    pub alpha: f64,
+    /// Knowledge radius of the cell.
+    pub k: u32,
+    /// Repetition index (selects the starting network).
+    pub rep: usize,
+    /// The dynamics result.
+    pub result: RunResult,
+}
+
+/// A compact serialisable record of one run, written as JSON lines
+/// next to the CSVs so full sweeps can be re-analysed offline.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Workload class tag (`"tree"` / `"er"`).
+    pub class: String,
+    /// Player count.
+    pub n: usize,
+    /// Edge price.
+    pub alpha: f64,
+    /// Knowledge radius.
+    pub k: u32,
+    /// Repetition index.
+    pub rep: usize,
+    /// `true` iff the dynamics converged.
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total accepted moves.
+    pub moves: usize,
+    /// Final diameter, if connected.
+    pub diameter: Option<u32>,
+    /// Final quality `SC/OPT`.
+    pub quality: Option<f64>,
+    /// Final maximum degree.
+    pub max_degree: usize,
+    /// Final maximum bought edges.
+    pub max_bought: usize,
+    /// Final minimum view size.
+    pub min_view: usize,
+    /// Final average view size.
+    pub avg_view: f64,
+    /// Final unfairness ratio.
+    pub unfairness: Option<f64>,
+}
+
+impl RunRecord {
+    /// Builds a record from a cell result.
+    pub fn from_cell(class: &str, n: usize, cell: &CellResult) -> Self {
+        let m = &cell.result.final_metrics;
+        let rounds = match cell.result.outcome {
+            ncg_dynamics::Outcome::Converged { rounds } => rounds,
+            ncg_dynamics::Outcome::Cycled { repeated_at, .. } => repeated_at,
+            ncg_dynamics::Outcome::MaxRoundsExceeded => usize::MAX,
+        };
+        RunRecord {
+            class: class.to_string(),
+            n,
+            alpha: cell.alpha,
+            k: cell.k,
+            rep: cell.rep,
+            converged: cell.result.outcome.converged(),
+            rounds,
+            moves: cell.result.total_moves,
+            diameter: m.diameter,
+            quality: m.quality,
+            max_degree: m.max_degree,
+            max_bought: m.max_bought,
+            min_view: m.min_view,
+            avg_view: m.avg_view,
+            unfairness: m.unfairness,
+        }
+    }
+}
+
+/// Runs MaxNCG dynamics for every `(α, k)` in the grid and every
+/// starting state, in parallel, returning results sorted by
+/// `(α-index, k-index, rep)`.
+///
+/// `progress`, if given, is called after each finished run with
+/// `(done, total)` — used by the binaries for a live counter.
+pub fn sweep(
+    states: &[GameState],
+    alphas: &[f64],
+    ks: &[u32],
+    objective: Objective,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Vec<CellResult> {
+    let cells: Vec<(usize, usize, usize)> = (0..alphas.len())
+        .flat_map(|ai| {
+            (0..ks.len()).flat_map(move |ki| (0..states.len()).map(move |r| (ai, ki, r)))
+        })
+        .collect();
+    let total = cells.len();
+    let done = Mutex::new(0usize);
+    let mut results: Vec<(usize, CellResult)> = cells
+        .into_par_iter()
+        .enumerate()
+        .map(|(idx, (ai, ki, rep))| {
+            let spec = GameSpec { alpha: alphas[ai], k: ks[ki], objective };
+            let config = DynamicsConfig::new(spec);
+            let result = run(states[rep].clone(), &config);
+            if let Some(cb) = progress {
+                let mut d = done.lock();
+                *d += 1;
+                cb(*d, total);
+            }
+            (idx, CellResult { alpha: alphas[ai], k: ks[ki], rep, result })
+        })
+        .collect();
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Groups cell results by `(α, k)` preserving grid order, yielding
+/// `((α, k), &[CellResult])` slices of length `reps`.
+pub fn by_cell<'a>(
+    results: &'a [CellResult],
+    alphas: &[f64],
+    ks: &[u32],
+    reps: usize,
+) -> Vec<((f64, u32), &'a [CellResult])> {
+    let mut out = Vec::with_capacity(alphas.len() * ks.len());
+    let mut offset = 0;
+    for &alpha in alphas {
+        for &k in ks {
+            let slice = &results[offset..offset + reps];
+            debug_assert!(slice.iter().all(|c| c.alpha == alpha && c.k == k));
+            out.push(((alpha, k), slice));
+            offset += reps;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn sweep_covers_the_grid_in_order() {
+        let states = workloads::tree_states(14, 2, 1);
+        let alphas = [0.5, 2.0];
+        let ks = [2u32, 1000];
+        let results = sweep(&states, &alphas, &ks, Objective::Max, None);
+        assert_eq!(results.len(), 8);
+        // Order: α-major, then k, then rep.
+        assert_eq!((results[0].alpha, results[0].k, results[0].rep), (0.5, 2, 0));
+        assert_eq!((results[1].alpha, results[1].k, results[1].rep), (0.5, 2, 1));
+        assert_eq!((results[2].alpha, results[2].k, results[2].rep), (0.5, 1000, 0));
+        assert_eq!((results[7].alpha, results[7].k, results[7].rep), (2.0, 1000, 1));
+        for c in &results {
+            assert!(c.result.outcome.converged() || c.result.total_moves > 0);
+        }
+    }
+
+    #[test]
+    fn by_cell_groups_correctly() {
+        let states = workloads::tree_states(12, 3, 2);
+        let alphas = [1.0];
+        let ks = [2u32, 3];
+        let results = sweep(&states, &alphas, &ks, Objective::Max, None);
+        let grouped = by_cell(&results, &alphas, &ks, 3);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, (1.0, 2));
+        assert_eq!(grouped[0].1.len(), 3);
+        assert_eq!(grouped[1].0, (1.0, 3));
+    }
+
+    #[test]
+    fn progress_callback_counts_to_total() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let states = workloads::tree_states(10, 2, 3);
+        let max_seen = AtomicUsize::new(0);
+        let cb = |done: usize, total: usize| {
+            assert!(done <= total);
+            max_seen.fetch_max(done, Ordering::Relaxed);
+        };
+        sweep(&states, &[1.0], &[2], Objective::Max, Some(&cb));
+        assert_eq!(max_seen.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn run_record_extracts_fields() {
+        let states = workloads::tree_states(12, 1, 4);
+        let results = sweep(&states, &[2.0], &[3], Objective::Max, None);
+        let rec = RunRecord::from_cell("tree", 12, &results[0]);
+        assert_eq!(rec.class, "tree");
+        assert_eq!(rec.n, 12);
+        assert_eq!(rec.alpha, 2.0);
+        assert_eq!(rec.k, 3);
+        assert!(rec.converged);
+        assert!(rec.rounds >= 1);
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"class\":\"tree\""));
+    }
+}

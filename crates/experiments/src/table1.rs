@@ -1,0 +1,71 @@
+//! Table I: statistics of the random-tree workloads.
+//!
+//! Paper rows: for each `n ∈ {20, 30, 50, 70, 100, 200}`, the mean ±
+//! 95% CI over 20 trees of the diameter, the maximum degree, and the
+//! maximum number of bought edges (ownership assigned by fair coin).
+
+use ncg_graph::metrics;
+use ncg_stats::{Summary, Table};
+
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// Runs the Table I measurement under the given profile.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("table1");
+    out.notes = format!(
+        "Table I — random tree statistics; profile: {} ({} trees per n)",
+        profile.name, profile.reps
+    );
+    let mut table = Table::new(["n", "Diameter", "Max. degree", "Max. bought edges"]);
+    for &n in &profile.tree_ns {
+        let states = workloads::tree_states(n, profile.reps, profile.base_seed);
+        let diameters: Vec<f64> = states
+            .iter()
+            .map(|s| metrics::diameter(s.graph()).expect("trees are connected") as f64)
+            .collect();
+        let max_degrees: Vec<f64> =
+            states.iter().map(|s| s.graph().max_degree() as f64).collect();
+        let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
+        table.push_row([
+            n.to_string(),
+            Summary::of(&diameters).display(2),
+            Summary::of(&max_degrees).display(2),
+            Summary::of(&max_bought).display(2),
+        ]);
+    }
+    out.push_table("random_trees", table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_tree_size() {
+        let profile = Profile::smoke();
+        let out = run(&profile);
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].1.len(), profile.tree_ns.len());
+    }
+
+    #[test]
+    fn diameters_grow_with_n_as_in_the_paper() {
+        // Table I trend: expected diameter of a uniform random tree
+        // grows like √n — bigger trees must have bigger mean diameter.
+        let profile = Profile {
+            reps: 10,
+            tree_ns: vec![20, 200],
+            ..Profile::smoke()
+        };
+        let d = |n: usize| {
+            let states = workloads::tree_states(n, profile.reps, profile.base_seed);
+            let v: Vec<f64> = states
+                .iter()
+                .map(|s| metrics::diameter(s.graph()).unwrap() as f64)
+                .collect();
+            Summary::of(&v).mean
+        };
+        assert!(d(200) > 1.8 * d(20), "diameter must grow markedly with n");
+    }
+}

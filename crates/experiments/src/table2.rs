@@ -1,0 +1,68 @@
+//! Table II: statistics of the Erdős–Rényi workloads.
+//!
+//! Paper rows: for each `(n, p)` configuration, the mean ± 95% CI
+//! over 20 connected samples of the edge count, diameter, maximum
+//! degree and maximum bought edges.
+
+use ncg_graph::metrics;
+use ncg_stats::{Summary, Table};
+
+use crate::{workloads, ExperimentOutput, Profile};
+
+/// Runs the Table II measurement under the given profile.
+pub fn run(profile: &Profile) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("table2");
+    out.notes = format!(
+        "Table II — Erdős–Rényi statistics; profile: {} ({} samples per row)",
+        profile.name, profile.reps
+    );
+    let mut table =
+        Table::new(["n", "p", "Edges", "Diameter", "Max. degree", "Max. bought edges"]);
+    for &(n, p) in &profile.er_configs {
+        let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
+        let edges: Vec<f64> = states.iter().map(|s| s.graph().edge_count() as f64).collect();
+        let diameters: Vec<f64> = states
+            .iter()
+            .map(|s| metrics::diameter(s.graph()).expect("samples are connected") as f64)
+            .collect();
+        let max_degrees: Vec<f64> =
+            states.iter().map(|s| s.graph().max_degree() as f64).collect();
+        let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
+        table.push_row([
+            n.to_string(),
+            format!("{p:.3}"),
+            Summary::of(&edges).display(2),
+            Summary::of(&diameters).display(2),
+            Summary::of(&max_degrees).display(2),
+            Summary::of(&max_bought).display(2),
+        ]);
+    }
+    out.push_table("er_graphs", table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_config() {
+        let out = run(&Profile::smoke());
+        assert_eq!(out.tables[0].1.len(), Profile::smoke().er_configs.len());
+    }
+
+    #[test]
+    fn edge_counts_track_expectation() {
+        // The paper's Table II: edges ≈ p·n(n−1)/2.
+        let profile = Profile {
+            reps: 8,
+            er_configs: vec![(60, 0.1)],
+            ..Profile::smoke()
+        };
+        let states = workloads::er_states(60, 0.1, profile.reps, profile.base_seed);
+        let mean =
+            states.iter().map(|s| s.graph().edge_count() as f64).sum::<f64>() / profile.reps as f64;
+        let expected = 0.1 * (60.0 * 59.0 / 2.0);
+        assert!((mean - expected).abs() < 0.2 * expected, "mean {mean} vs expected {expected}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Workload generation: seeded initial states for the two input
+//! classes of Section 5.2.
+//!
+//! Each repetition gets its own deterministic seed derived from the
+//! profile's base seed via SplitMix64, so any single run can be
+//! reproduced in isolation (no dependence on the sweep order). The
+//! same `reps` starting networks are reused across every `(α, k)`
+//! cell, exactly as the paper does.
+
+use ncg_core::GameState;
+use ncg_graph::generators;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SplitMix64 — tiny, well-mixed seed derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for one workload instance.
+pub fn instance_seed(base: u64, class_tag: u64, n: usize, rep: usize) -> u64 {
+    splitmix64(base ^ splitmix64(class_tag) ^ splitmix64(n as u64) ^ splitmix64(rep as u64 | 1 << 32))
+}
+
+/// `reps` uniform random trees on `n` nodes with coin-toss edge
+/// ownership (Table I inputs).
+pub fn tree_states(n: usize, reps: usize, base_seed: u64) -> Vec<GameState> {
+    (0..reps)
+        .map(|rep| {
+            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(base_seed, 0x7265_65, n, rep));
+            let tree = generators::random_tree(n, &mut rng);
+            GameState::from_graph_random_ownership(&tree, &mut rng)
+        })
+        .collect()
+}
+
+/// `reps` connected `G(n, p)` samples with coin-toss ownership
+/// (Table II inputs). Unconnected samples are discarded and
+/// regenerated, as in the paper.
+pub fn er_states(n: usize, p: f64, reps: usize, base_seed: u64) -> Vec<GameState> {
+    (0..reps)
+        .map(|rep| {
+            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(
+                base_seed,
+                0x6572 ^ p.to_bits(),
+                n,
+                rep,
+            ));
+            let g = generators::gnp_connected(n, p, 10_000, &mut rng)
+                .expect("G(n,p) parameters must be above the connectivity threshold");
+            GameState::from_graph_random_ownership(&g, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_graph::metrics;
+
+    #[test]
+    fn tree_states_are_valid_trees() {
+        let states = tree_states(30, 4, 42);
+        assert_eq!(states.len(), 4);
+        for s in &states {
+            assert_eq!(s.n(), 30);
+            assert_eq!(s.graph().edge_count(), 29);
+            assert!(metrics::is_connected(s.graph()));
+            assert!(s.validate().is_ok());
+            assert_eq!(s.total_bought(), 29, "every edge owned exactly once");
+        }
+    }
+
+    #[test]
+    fn er_states_are_connected() {
+        let states = er_states(40, 0.15, 3, 42);
+        for s in &states {
+            assert!(metrics::is_connected(s.graph()));
+            assert!(s.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn workloads_are_reproducible_and_distinct() {
+        let a = tree_states(25, 3, 7);
+        let b = tree_states(25, 3, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+        assert_ne!(a[0], a[1], "different reps must differ");
+        let c = tree_states(25, 3, 8);
+        assert_ne!(a[0], c[0], "different base seeds must differ");
+    }
+
+    #[test]
+    fn seed_derivation_separates_classes_and_sizes() {
+        let s1 = instance_seed(1, 2, 10, 0);
+        assert_ne!(s1, instance_seed(1, 3, 10, 0));
+        assert_ne!(s1, instance_seed(1, 2, 11, 0));
+        assert_ne!(s1, instance_seed(1, 2, 10, 1));
+        assert_ne!(s1, instance_seed(2, 2, 10, 0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Breadth-first search kernels.
+//!
+//! The BFS routines here are the hot path of the whole workspace: every
+//! eccentricity, view extraction and dominating-set reduction bottoms
+//! out in them. They therefore follow the allocation discipline from
+//! the performance guides: a caller-provided [`DistanceBuffer`] is
+//! reused across calls and nothing is allocated per BFS.
+
+use crate::{Graph, NodeId, INFINITY};
+
+/// Reusable scratch space for BFS.
+///
+/// Holds the distance array and the FIFO queue. Create one per thread
+/// (or per long-lived computation) and pass it to the kernels; the
+/// buffer grows on demand and never shrinks.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceBuffer {
+    /// Distances from the last source; `INFINITY` = unreachable.
+    dist: Vec<u32>,
+    /// FIFO queue storage (head index advances instead of popping).
+    queue: Vec<NodeId>,
+}
+
+impl DistanceBuffer {
+    /// Creates an empty buffer; it will size itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer pre-sized for graphs with `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        DistanceBuffer { dist: Vec::with_capacity(n), queue: Vec::with_capacity(n) }
+    }
+
+    /// Distance from the most recent source to `u` (`INFINITY` if
+    /// unreachable).
+    ///
+    /// # Panics
+    /// Panics if no BFS has been run or `u` is out of range for the
+    /// graph of the last run.
+    #[inline]
+    pub fn dist(&self, u: NodeId) -> u32 {
+        self.dist[u as usize]
+    }
+
+    /// The full distance slice of the most recent run.
+    #[inline]
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Nodes visited by the most recent run, in BFS (non-decreasing
+    /// distance) order. The source is first.
+    #[inline]
+    pub fn visited(&self) -> &[NodeId] {
+        &self.queue
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, INFINITY);
+        self.queue.clear();
+    }
+
+    // -- crate-internal plumbing for alternative BFS drivers (CSR) --
+
+    /// Crate-internal: reset for an `n`-node graph.
+    #[inline]
+    pub(crate) fn reset_pub(&mut self, n: usize) {
+        self.reset(n);
+    }
+
+    /// Crate-internal: enqueue `s` at distance 0.
+    #[inline]
+    pub(crate) fn seed(&mut self, s: NodeId) {
+        if self.dist[s as usize] != 0 {
+            self.dist[s as usize] = 0;
+            self.queue.push(s);
+        }
+    }
+
+    /// Crate-internal: FIFO pop via an external head cursor.
+    #[inline]
+    pub(crate) fn pop(&mut self, head: &mut usize) -> Option<NodeId> {
+        let u = self.queue.get(*head).copied();
+        if u.is_some() {
+            *head += 1;
+        }
+        u
+    }
+
+    /// Crate-internal: relax `v` to distance `d` if undiscovered.
+    #[inline]
+    pub(crate) fn relax(&mut self, v: NodeId, d: u32) {
+        if self.dist[v as usize] == INFINITY {
+            self.dist[v as usize] = d;
+            self.queue.push(v);
+        }
+    }
+}
+
+/// Full BFS from `source`; fills `buf` with distances in `g`.
+///
+/// Returns the eccentricity of `source` within its connected component
+/// (the largest finite distance reached).
+pub fn bfs(g: &Graph, source: NodeId, buf: &mut DistanceBuffer) -> u32 {
+    bfs_bounded(g, source, u32::MAX, buf)
+}
+
+/// BFS from `source` truncated at distance `limit` (inclusive).
+///
+/// Nodes at distance `> limit` keep distance `INFINITY` and are not
+/// enqueued, which is exactly the semantics needed for radius-`k`
+/// views. Returns the largest distance reached (`≤ limit`).
+pub fn bfs_bounded(g: &Graph, source: NodeId, limit: u32, buf: &mut DistanceBuffer) -> u32 {
+    debug_assert!((source as usize) < g.node_count(), "BFS source out of range");
+    buf.reset(g.node_count());
+    buf.dist[source as usize] = 0;
+    buf.queue.push(source);
+    let mut head = 0usize;
+    let mut max_d = 0u32;
+    while head < buf.queue.len() {
+        let u = buf.queue[head];
+        head += 1;
+        let du = buf.dist[u as usize];
+        max_d = du;
+        if du == limit {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if buf.dist[v as usize] == INFINITY {
+                buf.dist[v as usize] = du + 1;
+                buf.queue.push(v);
+            }
+        }
+    }
+    max_d
+}
+
+/// BFS from `source` on `g` *with node `skip` deleted*.
+///
+/// Used by the best-response reduction, which works on `H ∖ {u}`
+/// without materialising the node-deleted graph. `skip` keeps distance
+/// `INFINITY` and its incident edges are ignored.
+pub fn bfs_skipping(g: &Graph, source: NodeId, skip: NodeId, buf: &mut DistanceBuffer) -> u32 {
+    debug_assert_ne!(source, skip, "cannot BFS from the deleted node");
+    buf.reset(g.node_count());
+    buf.dist[source as usize] = 0;
+    buf.queue.push(source);
+    let mut head = 0usize;
+    let mut max_d = 0u32;
+    while head < buf.queue.len() {
+        let u = buf.queue[head];
+        head += 1;
+        let du = buf.dist[u as usize];
+        max_d = du;
+        for &v in g.neighbors(u) {
+            if v != skip && buf.dist[v as usize] == INFINITY {
+                buf.dist[v as usize] = du + 1;
+                buf.queue.push(v);
+            }
+        }
+    }
+    max_d
+}
+
+/// BFS from a *set* of sources (multi-source BFS), all at distance 0.
+///
+/// Returns the largest finite distance reached. Empty source sets
+/// yield an all-`INFINITY` buffer and return 0.
+pub fn bfs_multi(g: &Graph, sources: &[NodeId], buf: &mut DistanceBuffer) -> u32 {
+    buf.reset(g.node_count());
+    for &s in sources {
+        debug_assert!((s as usize) < g.node_count(), "BFS source out of range");
+        if buf.dist[s as usize] != 0 {
+            buf.dist[s as usize] = 0;
+            buf.queue.push(s);
+        }
+    }
+    let mut head = 0usize;
+    let mut max_d = 0u32;
+    while head < buf.queue.len() {
+        let u = buf.queue[head];
+        head += 1;
+        let du = buf.dist[u as usize];
+        max_d = du;
+        for &v in g.neighbors(u) {
+            if buf.dist[v as usize] == INFINITY {
+                buf.dist[v as usize] = du + 1;
+                buf.queue.push(v);
+            }
+        }
+    }
+    max_d
+}
+
+/// Single-pair shortest-path distance (early-exit BFS).
+pub fn distance(g: &Graph, u: NodeId, v: NodeId, buf: &mut DistanceBuffer) -> u32 {
+    if u == v {
+        return 0;
+    }
+    buf.reset(g.node_count());
+    buf.dist[u as usize] = 0;
+    buf.queue.push(u);
+    let mut head = 0usize;
+    while head < buf.queue.len() {
+        let x = buf.queue[head];
+        head += 1;
+        let dx = buf.dist[x as usize];
+        for &y in g.neighbors(x) {
+            if buf.dist[y as usize] == INFINITY {
+                if y == v {
+                    return dx + 1;
+                }
+                buf.dist[y as usize] = dx + 1;
+                buf.queue.push(y);
+            }
+        }
+    }
+    INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path_gives_linear_distances() {
+        let g = generators::path(6);
+        let mut buf = DistanceBuffer::new();
+        let ecc = bfs(&g, 0, &mut buf);
+        assert_eq!(ecc, 5);
+        for v in 0..6 {
+            assert_eq!(buf.dist(v), v);
+        }
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_as_infinity() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let mut buf = DistanceBuffer::new();
+        let ecc = bfs(&g, 0, &mut buf);
+        assert_eq!(ecc, 1);
+        assert_eq!(buf.dist(2), INFINITY);
+        assert_eq!(buf.dist(3), INFINITY);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates_at_limit() {
+        let g = generators::path(10);
+        let mut buf = DistanceBuffer::new();
+        let reached = bfs_bounded(&g, 0, 3, &mut buf);
+        assert_eq!(reached, 3);
+        assert_eq!(buf.dist(3), 3);
+        assert_eq!(buf.dist(4), INFINITY);
+        assert_eq!(buf.visited().len(), 4);
+    }
+
+    #[test]
+    fn bounded_bfs_visits_in_distance_order() {
+        let g = generators::cycle(9);
+        let mut buf = DistanceBuffer::new();
+        bfs_bounded(&g, 0, 2, &mut buf);
+        let ds: Vec<u32> = buf.visited().iter().map(|&v| buf.dist(v)).collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(buf.visited()[0], 0);
+    }
+
+    #[test]
+    fn skipping_bfs_deletes_the_node() {
+        // path 0-1-2-3; skipping 1 disconnects 0 from {2,3}.
+        let g = generators::path(4);
+        let mut buf = DistanceBuffer::new();
+        bfs_skipping(&g, 0, 1, &mut buf);
+        assert_eq!(buf.dist(0), 0);
+        assert_eq!(buf.dist(1), INFINITY);
+        assert_eq!(buf.dist(2), INFINITY);
+        // cycle 0-1-2-3-0; skipping 1 still reaches 2 the long way.
+        let c = generators::cycle(4);
+        bfs_skipping(&c, 0, 1, &mut buf);
+        assert_eq!(buf.dist(2), 2);
+        assert_eq!(buf.dist(3), 1);
+        assert_eq!(buf.dist(1), INFINITY);
+    }
+
+    #[test]
+    fn multi_source_bfs_takes_nearest_source() {
+        let g = generators::path(7);
+        let mut buf = DistanceBuffer::new();
+        let maxd = bfs_multi(&g, &[0, 6], &mut buf);
+        assert_eq!(maxd, 3);
+        assert_eq!(buf.dist(3), 3);
+        assert_eq!(buf.dist(5), 1);
+    }
+
+    #[test]
+    fn multi_source_bfs_with_empty_sources() {
+        let g = generators::path(3);
+        let mut buf = DistanceBuffer::new();
+        assert_eq!(bfs_multi(&g, &[], &mut buf), 0);
+        assert!(buf.distances().iter().all(|&d| d == INFINITY));
+    }
+
+    #[test]
+    fn multi_source_handles_duplicate_sources() {
+        let g = generators::path(4);
+        let mut buf = DistanceBuffer::new();
+        bfs_multi(&g, &[2, 2, 2], &mut buf);
+        assert_eq!(buf.dist(0), 2);
+        assert_eq!(buf.visited().len(), 4);
+    }
+
+    #[test]
+    fn pairwise_distance_matches_full_bfs() {
+        let g = generators::cycle(11);
+        let mut buf = DistanceBuffer::new();
+        for u in 0..11 {
+            let mut full = DistanceBuffer::new();
+            bfs(&g, u, &mut full);
+            for v in 0..11 {
+                assert_eq!(distance(&g, u, v, &mut buf), full.dist(v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_unreachable_is_infinity() {
+        let g = Graph::new(3);
+        let mut buf = DistanceBuffer::new();
+        assert_eq!(distance(&g, 0, 2, &mut buf), INFINITY);
+        assert_eq!(distance(&g, 1, 1, &mut buf), 0);
+    }
+
+    #[test]
+    fn buffer_is_reusable_across_graphs_of_different_size() {
+        let mut buf = DistanceBuffer::new();
+        bfs(&generators::path(10), 0, &mut buf);
+        bfs(&generators::path(3), 0, &mut buf);
+        assert_eq!(buf.distances().len(), 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Frozen CSR (compressed sparse row) graph representation.
+//!
+//! [`Graph`]'s `Vec<Vec<NodeId>>` adjacency is ideal for the mutation
+//! the dynamics performs, but its per-node heap allocations scatter
+//! the neighbour lists across the heap. The all-pairs BFS sweeps of
+//! the metrics layer and the best-response reduction read the whole
+//! adjacency once per source — a contiguous offsets/targets layout
+//! ([`CsrGraph`]) keeps those sweeps inside a single prefetch-friendly
+//! allocation. Freezing is `O(n + m)`; the benches in
+//! `ncg-bench/benches/substrates.rs` quantify the BFS win.
+
+use crate::bfs::DistanceBuffer;
+use crate::{Graph, NodeId};
+#[cfg(test)]
+use crate::INFINITY;
+
+/// An immutable graph in CSR layout: neighbours of `u` are
+/// `targets[offsets[u] .. offsets[u+1]]`, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Freezes a [`Graph`] into CSR form.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for u in 0..n as NodeId {
+            targets.extend_from_slice(g.neighbors(u));
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbour slice of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Full BFS from `source` on the CSR layout; same contract as
+    /// [`crate::bfs::bfs`]. Returns the largest finite distance.
+    pub fn bfs(&self, source: NodeId, buf: &mut DistanceBuffer) -> u32 {
+        self.bfs_bounded(source, u32::MAX, buf)
+    }
+
+    /// Bounded BFS (distance `≤ limit`) on the CSR layout.
+    pub fn bfs_bounded(&self, source: NodeId, limit: u32, buf: &mut DistanceBuffer) -> u32 {
+        debug_assert!((source as usize) < self.node_count());
+        buf.reset_pub(self.node_count());
+        buf.seed(source);
+        let mut head = 0usize;
+        let mut max_d = 0u32;
+        while let Some(u) = buf.pop(&mut head) {
+            let du = buf.dist(u);
+            max_d = du;
+            if du == limit {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                buf.relax(v, du + 1);
+            }
+        }
+        max_d
+    }
+
+    /// All-pairs distance matrix via per-source BFS (sequential; the
+    /// caller parallelises over chunks if desired).
+    pub fn distance_matrix(&self) -> Vec<Vec<u32>> {
+        let n = self.node_count();
+        let mut buf = DistanceBuffer::with_capacity(n);
+        (0..n as NodeId)
+            .map(|u| {
+                self.bfs(u, &mut buf);
+                buf.distances().to_vec()
+            })
+            .collect()
+    }
+
+    /// Eccentricity of `u` (`None` when `u` does not reach everyone).
+    pub fn eccentricity(&self, u: NodeId, buf: &mut DistanceBuffer) -> Option<u32> {
+        let ecc = self.bfs(u, buf);
+        if buf.visited().len() == self.node_count() {
+            Some(ecc)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn csr_preserves_structure() {
+        let g = generators::grid(4, 5);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for u in 0..g.node_count() as NodeId {
+            assert_eq!(csr.neighbors(u), g.neighbors(u));
+            assert_eq!(csr.degree(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn csr_bfs_matches_graph_bfs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = generators::gnp(60, 0.08, &mut rng).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        let mut a = DistanceBuffer::new();
+        let mut b = DistanceBuffer::new();
+        for u in 0..g.node_count() as NodeId {
+            let ea = bfs(&g, u, &mut a);
+            let eb = csr.bfs(u, &mut b);
+            assert_eq!(ea, eb);
+            assert_eq!(a.distances(), b.distances());
+        }
+    }
+
+    #[test]
+    fn csr_bounded_bfs_truncates() {
+        let g = generators::path(12);
+        let csr = CsrGraph::from_graph(&g);
+        let mut buf = DistanceBuffer::new();
+        let reached = csr.bfs_bounded(0, 4, &mut buf);
+        assert_eq!(reached, 4);
+        assert_eq!(buf.dist(4), 4);
+        assert_eq!(buf.dist(5), INFINITY);
+    }
+
+    #[test]
+    fn csr_distance_matrix_matches_metrics() {
+        let g = generators::cycle(11);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.distance_matrix(), crate::metrics::distance_matrix(&g));
+    }
+
+    #[test]
+    fn csr_eccentricity_and_disconnection() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        let mut buf = DistanceBuffer::new();
+        assert_eq!(csr.eccentricity(0, &mut buf), None);
+        let c = CsrGraph::from_graph(&generators::cycle(8));
+        assert_eq!(c.eccentricity(0, &mut buf), Some(4));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrGraph::from_graph(&Graph::new(0));
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+use std::fmt;
+
+/// Errors produced by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node identifier was at least `node_count()`.
+    NodeOutOfRange {
+        /// The offending identifier.
+        node: u32,
+        /// The number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A self-loop `(u, u)` was requested; the game graphs are simple.
+    SelfLoop(u32),
+    /// A generator was asked for an impossible parameter combination.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop ({u}, {u}) not allowed"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        assert!(GraphError::SelfLoop(2).to_string().contains("self-loop"));
+        assert!(GraphError::InvalidParameter("p must be in [0,1]".into())
+            .to_string()
+            .contains("p must be in [0,1]"));
+    }
+}

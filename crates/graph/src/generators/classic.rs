@@ -1,0 +1,117 @@
+//! Deterministic graph families.
+
+use crate::{Graph, NodeId};
+
+/// The path `0 − 1 − … − (n−1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge((u - 1) as NodeId, u as NodeId);
+    }
+    g
+}
+
+/// The cycle `0 − 1 − … − (n−1) − 0`. For `n < 3` this degenerates to
+/// a path (no multi-edges / self-loops are created).
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge((n - 1) as NodeId, 0);
+    }
+    g
+}
+
+/// The star with center `0` and leaves `1..n`.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(0, u as NodeId);
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    g
+}
+
+/// The `rows × cols` grid graph; node `(r, c)` has id `r·cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols as NodeId);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+    }
+
+    #[test]
+    fn tiny_cycles_degenerate_to_paths() {
+        assert_eq!(cycle(2).edge_count(), 1);
+        assert_eq!(cycle(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(metrics::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(metrics::diameter(&g), Some(5));
+        assert_eq!(metrics::girth(&g), Some(4));
+    }
+}

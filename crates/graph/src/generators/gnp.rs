@@ -1,0 +1,154 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use rand::Rng;
+
+use crate::metrics::is_connected;
+use crate::{Graph, GraphError, NodeId};
+
+/// Samples `G(n, p)`: every unordered pair becomes an edge
+/// independently with probability `p`.
+///
+/// Uses the geometric skipping method of Batagelj–Brandes, which runs
+/// in `O(n + m)` expected time instead of `O(n²)` — the sweep binaries
+/// sample thousands of these.
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameter(format!(
+            "edge probability p = {p} must lie in [0, 1]"
+        )));
+    }
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return Ok(g);
+    }
+    if p == 0.0 {
+        return Ok(g);
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                g.add_edge(u, v);
+            }
+        }
+        return Ok(g);
+    }
+    // Batagelj–Brandes: walk the linearised strictly-upper-triangular
+    // pair index with geometric jumps of parameter p.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.random::<f64>();
+        // ceil(log(r)/log(1-p)) - 1 skipped pairs.
+        let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            g.add_edge(w as NodeId, v as NodeId);
+        }
+    }
+    Ok(g)
+}
+
+/// Samples `G(n, p)` conditioned on connectivity: resamples until the
+/// graph is connected, exactly as the paper does ("any remaining
+/// unconnected graph was discarded and regenerated from scratch").
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] if `p` is out of range or
+/// if `max_attempts` resamples all fail (the parameters are below the
+/// connectivity threshold).
+pub fn gnp_connected<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    for _ in 0..max_attempts {
+        let g = gnp(n, p, rng)?;
+        if is_connected(&g) {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::InvalidParameter(format!(
+        "G({n}, {p}) produced no connected sample in {max_attempts} attempts"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn p_zero_is_edgeless_and_p_one_is_complete() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).unwrap().edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).unwrap().edge_count(), 45);
+    }
+
+    #[test]
+    fn invalid_p_is_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(gnp(10, -0.1, &mut rng).is_err());
+        assert!(gnp(10, 1.5, &mut rng).is_err());
+        assert!(gnp(10, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn edge_count_concentrates_around_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 200;
+        let p = 0.1;
+        let trials = 30;
+        let mean: f64 = (0..trials)
+            .map(|_| gnp(n, p, &mut rng).unwrap().edge_count() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = p * (n * (n - 1) / 2) as f64;
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn samples_are_valid_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            let g = gnp(64, 0.07, &mut rng).unwrap();
+            assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn connected_variant_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = gnp_connected(100, 0.06, 1000, &mut rng).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn connected_variant_gives_up_below_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // p = 0 can never be connected for n ≥ 2.
+        assert!(gnp_connected(10, 0.0, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(gnp(0, 0.5, &mut rng).unwrap().node_count(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).unwrap().edge_count(), 0);
+        // n=1 is trivially connected.
+        assert!(gnp_connected(1, 0.5, 1, &mut rng).is_ok());
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph generators: the workload classes of the paper's Section 5.2
+//! plus the deterministic families used by the lower-bound gadgets.
+//!
+//! * [`random_tree`] — trees drawn uniformly from the `n^{n−2}` labelled
+//!   trees via random Prüfer sequences (Table I inputs).
+//! * [`gnp`] / [`gnp_connected`] — Erdős–Rényi `G(n,p)`; the connected
+//!   variant resamples until connected, as the paper does (Table II).
+//! * [`high_girth`] — randomized quasi-`q`-regular graphs of girth
+//!   `≥ g`, the stand-in for the Lazebnik–Ustimenko extremal graphs of
+//!   Lemma 3.2 (see DESIGN.md §4 for why the substitution is faithful).
+//! * [`cycle`], [`path`], [`star`], [`complete`], [`grid`] — classics.
+
+mod classic;
+mod gnp;
+mod high_girth;
+mod tree;
+
+pub use classic::{complete, cycle, grid, path, star};
+pub use gnp::{gnp, gnp_connected};
+pub use high_girth::{high_girth, HighGirthParams};
+pub use tree::{random_tree, tree_from_pruefer};

@@ -1,0 +1,172 @@
+//! Uniform random labelled trees via Prüfer sequences.
+//!
+//! The paper's Table I inputs are trees "picked uniformly at random
+//! from the set of all possible trees on n vertices". By Cayley's
+//! formula there are `n^{n−2}` labelled trees and the Prüfer bijection
+//! maps each sequence in `{0,…,n−1}^{n−2}` to exactly one of them, so
+//! sampling the sequence uniformly samples the tree uniformly.
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// Decodes a Prüfer sequence into the corresponding labelled tree on
+/// `seq.len() + 2` nodes.
+///
+/// Linear-time decoding with a degree array and a moving pointer (the
+/// "online minimum leaf" trick): no priority queue needed.
+///
+/// # Panics
+/// Panics if any entry of `seq` is `≥ seq.len() + 2`.
+pub fn tree_from_pruefer(seq: &[NodeId]) -> Graph {
+    let n = seq.len() + 2;
+    let mut g = Graph::new(n);
+    let mut degree = vec![1u32; n];
+    for &x in seq {
+        assert!((x as usize) < n, "Prüfer entry {x} out of range for n = {n}");
+        degree[x as usize] += 1;
+    }
+    // `ptr` scans for the smallest leaf; `leaf` is the current leaf,
+    // which may drop below `ptr` when decrementing a degree creates a
+    // new smaller leaf.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in seq {
+        g.add_edge(leaf as NodeId, x);
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 && (x as usize) < ptr {
+            leaf = x as usize;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // Two leaves remain; the smaller is `leaf`, the other is the last
+    // node of degree 1 above `ptr`.
+    let mut last = n - 1;
+    while degree[last] != 1 || last == leaf {
+        last -= 1;
+    }
+    g.add_edge(leaf as NodeId, last as NodeId);
+    g
+}
+
+/// Samples a tree uniformly at random from all `n^{n−2}` labelled
+/// trees on `n` nodes (`n ≥ 1`).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    match n {
+        0 => Graph::new(0),
+        1 => Graph::new(1),
+        2 => {
+            let mut g = Graph::new(2);
+            g.add_edge(0, 1);
+            g
+        }
+        _ => {
+            let seq: Vec<NodeId> =
+                (0..n - 2).map(|_| rng.random_range(0..n as NodeId)).collect();
+            tree_from_pruefer(&seq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pruefer_decoding_known_example() {
+        // Classic example: sequence [3,3,3,4] on n=6 gives the tree
+        // with edges {0-3, 1-3, 2-3, 3-4, 4-5}.
+        let g = tree_from_pruefer(&[3, 3, 3, 4]);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 3), (1, 3), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn pruefer_star_sequence() {
+        // All-zero sequence gives the star centered at 0.
+        let g = tree_from_pruefer(&[0, 0, 0]);
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn pruefer_path_sequence() {
+        // Sequence [1,2,...,n-2] decodes to the path 0-1-2-...-(n-1).
+        let g = tree_from_pruefer(&[1, 2, 3]);
+        assert_eq!(metrics::diameter(&g), Some(4));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3) && g.has_edge(3, 4));
+    }
+
+    #[test]
+    fn random_trees_are_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for n in [1usize, 2, 3, 5, 17, 64, 200] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(metrics::is_connected(&g), "n = {n}");
+            assert_eq!(metrics::girth(&g), None, "trees are acyclic, n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let a = random_tree(50, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_tree(50, &mut ChaCha8Rng::seed_from_u64(7));
+        let c = random_tree(50, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn pruefer_bijection_exhaustive_n4() {
+        // All 16 sequences on n=4 decode to 16 distinct trees = 4^{4-2}.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                let g = tree_from_pruefer(&[a, b]);
+                assert_eq!(g.edge_count(), 3);
+                assert!(metrics::is_connected(&g));
+                let mut edges: Vec<_> = g.edges().collect();
+                edges.sort_unstable();
+                seen.insert(edges);
+            }
+        }
+        assert_eq!(seen.len(), 16, "Prüfer decoding must be injective");
+    }
+
+    #[test]
+    fn uniformity_smoke_test_n4() {
+        // Over many samples each of the 16 labelled trees on 4 nodes
+        // should appear with roughly equal frequency.
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let mut counts = std::collections::HashMap::new();
+        let samples = 16_000;
+        for _ in 0..samples {
+            let g = random_tree(4, &mut rng);
+            let mut edges: Vec<_> = g.edges().collect();
+            edges.sort_unstable();
+            *counts.entry(edges).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 16);
+        let expected = samples / 16;
+        for (tree, count) in counts {
+            assert!(
+                (count as f64) > 0.7 * expected as f64
+                    && (count as f64) < 1.3 * expected as f64,
+                "tree {tree:?} has count {count}, expected ≈ {expected}"
+            );
+        }
+    }
+}

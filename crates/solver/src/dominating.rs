@@ -1,0 +1,422 @@
+//! Constrained minimum dominating set.
+//!
+//! This is our stand-in for the paper's Gurobi ILP (Section 5.3): an
+//! exact branch-and-bound for
+//!
+//! > minimise `|D ∖ forced|` subject to `D ⊇ forced` and
+//! > `∀ v ∈ universe: D ∩ dominators(v) ≠ ∅`,
+//!
+//! where the coverage structure is an arbitrary set system (in the
+//! best-response reduction, `covers[s]` is the radius-`(h−1)` ball
+//! around `s` in `H ∖ {u}`).
+//!
+//! Branching rule: pick the uncovered vertex with the fewest
+//! dominators and branch on each of them, best-coverage-first. Pruning:
+//! greedy initial upper bound, and the fractional lower bound
+//! `⌈uncovered / max_cover⌉`. On the dense power graphs of the
+//! reduction optima are tiny (≤ 10 typically), so the tree stays small.
+
+use crate::bitset::BitSet;
+
+/// A domination instance over elements `0..n`.
+#[derive(Debug, Clone)]
+pub struct DominationInstance {
+    /// `covers[s]` = set of vertices dominated when `s` is chosen.
+    pub covers: Vec<BitSet>,
+    /// Vertices that must be dominated.
+    pub universe: BitSet,
+    /// Elements that are already in `D` for free.
+    pub forced: Vec<u32>,
+}
+
+/// Result of a domination solve: the chosen *extra* elements
+/// (`D ∖ forced`), sorted.
+pub type Solution = Vec<u32>;
+
+impl DominationInstance {
+    /// Number of elements in the ground set.
+    pub fn n(&self) -> usize {
+        self.covers.len()
+    }
+
+    fn initial_covered(&self) -> BitSet {
+        let mut covered = BitSet::new(self.n());
+        for &f in &self.forced {
+            covered.union_with(&self.covers[f as usize]);
+        }
+        covered
+    }
+
+    /// Whether the instance is feasible at all (every universe vertex
+    /// has at least one dominator).
+    pub fn is_feasible(&self) -> bool {
+        let mut any = BitSet::new(self.n());
+        for c in &self.covers {
+            any.union_with(c);
+        }
+        any.is_superset(&self.universe)
+    }
+
+    /// Greedy `(1 + ln n)`-approximation: repeatedly take the element
+    /// covering the most still-uncovered universe vertices.
+    ///
+    /// Returns `None` if infeasible.
+    pub fn solve_greedy(&self) -> Option<Solution> {
+        let mut covered = self.initial_covered();
+        let mut chosen: Vec<u32> = Vec::new();
+        while covered.missing_from(&self.universe) > 0 {
+            let mut best: Option<(usize, u32)> = None;
+            for s in 0..self.n() as u32 {
+                let mut gain = 0usize;
+                // gain = |covers[s] ∩ universe ∖ covered|
+                for ((cw, uw), dw) in self.covers[s as usize]
+                    .words()
+                    .iter()
+                    .zip(self.universe.words())
+                    .zip(covered.words())
+                {
+                    gain += (cw & uw & !dw).count_ones() as usize;
+                }
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, s));
+                }
+            }
+            let (_, s) = best?; // None ⇒ infeasible
+            covered.union_with(&self.covers[s as usize]);
+            chosen.push(s);
+        }
+        chosen.sort_unstable();
+        Some(chosen)
+    }
+
+    /// Exact minimum via branch-and-bound.
+    ///
+    /// `cutoff`: only solutions with strictly fewer than `cutoff` extra
+    /// elements are interesting; pass `usize::MAX` for unconditional
+    /// optimality. Returns `None` if infeasible or no solution beats
+    /// the cutoff.
+    ///
+    /// Two lower bounds prune the tree: the fractional bound
+    /// `⌈uncovered / max_cover⌉` (good on dense instances) and a
+    /// **packing bound** — uncovered vertices with pairwise-disjoint
+    /// dominator sets each need their own dominator (near-tight on
+    /// sparse instances such as tree domination, where the fractional
+    /// bound alone lets the tree explode).
+    pub fn solve_exact(&self, cutoff: usize) -> Option<Solution> {
+        if !self.is_feasible() {
+            return None;
+        }
+        // Transpose: dominators[v] = {s : v ∈ covers[s]}, both as an
+        // adjacency list (for branching) and as bitsets (for the
+        // packing bound).
+        let n = self.n();
+        let mut dominators: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut dominator_sets: Vec<BitSet> = vec![BitSet::new(n); n];
+        for (s, c) in self.covers.iter().enumerate() {
+            for v in c.iter() {
+                dominators[v as usize].push(s as u32);
+                dominator_sets[v as usize].insert(s as u32);
+            }
+        }
+        // Static packing order: few-dominator vertices first makes the
+        // greedy packing larger, hence the bound stronger.
+        let mut packing_order: Vec<u32> = self.universe.iter().collect();
+        packing_order.sort_unstable_by_key(|&v| dominators[v as usize].len());
+        let max_cover = self
+            .covers
+            .iter()
+            .map(|c| c.intersection_len(&self.universe))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let covered = self.initial_covered();
+        // Greedy upper bound seeds `best`.
+        let mut best: Option<Solution> = self.solve_greedy();
+        let mut best_len = best
+            .as_ref()
+            .map(|b| b.len())
+            .unwrap_or(usize::MAX)
+            .min(cutoff);
+        if best.as_ref().is_some_and(|b| b.len() >= cutoff) {
+            best = None;
+        }
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut search = Search {
+            inst: self,
+            dominators: &dominators,
+            dominator_sets: &dominator_sets,
+            packing_order: &packing_order,
+            max_cover,
+            best: &mut best,
+            best_len: &mut best_len,
+            used_scratch: BitSet::new(n),
+        };
+        search.recurse(covered, &mut chosen);
+        best.map(|mut b| {
+            b.sort_unstable();
+            b
+        })
+    }
+}
+
+struct Search<'a> {
+    inst: &'a DominationInstance,
+    dominators: &'a [Vec<u32>],
+    dominator_sets: &'a [BitSet],
+    packing_order: &'a [u32],
+    max_cover: usize,
+    best: &'a mut Option<Solution>,
+    best_len: &'a mut usize,
+    used_scratch: BitSet,
+}
+
+impl Search<'_> {
+    /// Greedy packing: count uncovered vertices whose dominator sets
+    /// are pairwise disjoint — each needs a distinct chosen element.
+    fn packing_bound(&mut self, covered: &BitSet) -> usize {
+        self.used_scratch.clear();
+        let mut count = 0usize;
+        for &v in self.packing_order {
+            if !covered.contains(v)
+                && self.used_scratch.intersection_len(&self.dominator_sets[v as usize]) == 0
+            {
+                count += 1;
+                self.used_scratch.union_with(&self.dominator_sets[v as usize]);
+            }
+        }
+        count
+    }
+
+    fn recurse(&mut self, covered: BitSet, chosen: &mut Vec<u32>) {
+        let uncovered = covered.missing_from(&self.inst.universe);
+        if uncovered == 0 {
+            if chosen.len() < *self.best_len {
+                *self.best_len = chosen.len();
+                *self.best = Some(chosen.clone());
+            }
+            return;
+        }
+        // Lower bounds: fractional (dense instances) and packing
+        // (sparse instances).
+        let frac = uncovered.div_ceil(self.max_cover);
+        if chosen.len() + frac >= *self.best_len {
+            return;
+        }
+        let lb = chosen.len() + frac.max(self.packing_bound(&covered));
+        if lb >= *self.best_len {
+            return;
+        }
+        // Branch on the uncovered vertex with the fewest useful
+        // dominators (fail-first).
+        let mut branch_v: Option<(usize, u32)> = None;
+        let mut probe = covered.clone();
+        for v in 0..self.inst.n() as u32 {
+            if self.inst.universe.contains(v) && !covered.contains(v) {
+                let deg = self.dominators[v as usize].len();
+                if branch_v.is_none_or(|(bd, _)| deg < bd) {
+                    branch_v = Some((deg, v));
+                    if deg <= 1 {
+                        break;
+                    }
+                }
+            }
+        }
+        let (_, v) = branch_v.expect("uncovered > 0 implies an uncovered vertex exists");
+        // Order candidate dominators by marginal coverage, descending.
+        let mut cands: Vec<(usize, u32)> = self.dominators[v as usize]
+            .iter()
+            .map(|&s| {
+                let mut gain = 0usize;
+                for ((cw, uw), dw) in self.inst.covers[s as usize]
+                    .words()
+                    .iter()
+                    .zip(self.inst.universe.words())
+                    .zip(covered.words())
+                {
+                    gain += (cw & uw & !dw).count_ones() as usize;
+                }
+                (gain, s)
+            })
+            .collect();
+        cands.sort_unstable_by(|a, b| b.cmp(a));
+        for (_, s) in cands {
+            probe.clone_from(&covered);
+            probe.union_with(&self.inst.covers[s as usize]);
+            chosen.push(s);
+            self.recurse(probe.clone(), chosen);
+            chosen.pop();
+        }
+    }
+}
+
+impl BitSet {
+    /// Raw word access for the hot coverage-gain loops above.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        self.words_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_graph::{generators, Graph};
+
+    /// Builds the classic graph-domination instance: `covers[s]` =
+    /// closed neighbourhood of `s`.
+    fn graph_instance(g: &Graph, forced: Vec<u32>) -> DominationInstance {
+        let n = g.node_count();
+        let covers = (0..n as u32)
+            .map(|s| {
+                let mut b = BitSet::new(n);
+                b.insert(s);
+                for &v in g.neighbors(s) {
+                    b.insert(v);
+                }
+                b
+            })
+            .collect();
+        DominationInstance { covers, universe: BitSet::full(n), forced }
+    }
+
+    /// Brute-force minimum dominating set by subset enumeration.
+    fn brute_force(inst: &DominationInstance) -> Option<usize> {
+        let n = inst.n();
+        assert!(n <= 20);
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << n) {
+            let mut covered = inst.initial_covered();
+            let mut size = 0;
+            for s in 0..n as u32 {
+                if mask & (1 << s) != 0 {
+                    covered.union_with(&inst.covers[s as usize]);
+                    size += 1;
+                }
+            }
+            if covered.is_superset(&inst.universe) && best.is_none_or(|b| size < b) {
+                best = Some(size);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn star_is_dominated_by_its_center() {
+        let inst = graph_instance(&generators::star(9), vec![]);
+        assert_eq!(inst.solve_exact(usize::MAX).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn path_domination_number() {
+        // γ(P_n) = ⌈n/3⌉.
+        for n in [3usize, 4, 7, 9, 10] {
+            let inst = graph_instance(&generators::path(n), vec![]);
+            let exact = inst.solve_exact(usize::MAX).unwrap();
+            assert_eq!(exact.len(), n.div_ceil(3), "path n={n}");
+        }
+    }
+
+    #[test]
+    fn cycle_domination_number() {
+        for n in [3usize, 5, 6, 9, 12] {
+            let inst = graph_instance(&generators::cycle(n), vec![]);
+            assert_eq!(inst.solve_exact(usize::MAX).unwrap().len(), n.div_ceil(3));
+        }
+    }
+
+    #[test]
+    fn forced_vertices_are_free_and_respected() {
+        // Path of 9 with a forced end: the end covers {0,1}; the rest
+        // needs 2 more.
+        let inst = graph_instance(&generators::path(9), vec![0]);
+        let extra = inst.solve_exact(usize::MAX).unwrap();
+        assert!(extra.len() <= 3);
+        // The forced element must never be re-bought.
+        assert!(!extra.contains(&0));
+        // Verify coverage.
+        let mut covered = inst.initial_covered();
+        for &s in &extra {
+            covered.union_with(&inst.covers[s as usize]);
+        }
+        assert!(covered.is_superset(&inst.universe));
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_random_graphs() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for trial in 0..40 {
+            let g = generators::gnp(12, 0.25, &mut rng).unwrap();
+            let inst = graph_instance(&g, vec![]);
+            let exact = inst.solve_exact(usize::MAX).map(|s| s.len());
+            assert_eq!(exact, brute_force(&inst), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn exact_with_forced_matches_brute_force() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(78);
+        for trial in 0..25 {
+            let g = generators::gnp(11, 0.3, &mut rng).unwrap();
+            let inst = graph_instance(&g, vec![0, 3]);
+            let exact = inst.solve_exact(usize::MAX).map(|s| s.len());
+            assert_eq!(exact, brute_force(&inst), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_not_better_than_exact() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(79);
+        for _ in 0..20 {
+            let g = generators::gnp(14, 0.2, &mut rng).unwrap();
+            let inst = graph_instance(&g, vec![]);
+            let greedy = inst.solve_greedy().unwrap();
+            let exact = inst.solve_exact(usize::MAX).unwrap();
+            assert!(greedy.len() >= exact.len());
+            let mut covered = inst.initial_covered();
+            for &s in &greedy {
+                covered.union_with(&inst.covers[s as usize]);
+            }
+            assert!(covered.is_superset(&inst.universe));
+        }
+    }
+
+    #[test]
+    fn infeasible_instance_returns_none() {
+        // Universe includes a vertex nobody covers.
+        let covers = vec![BitSet::from_elems(3, [0]), BitSet::from_elems(3, [1]), BitSet::new(3)];
+        let inst =
+            DominationInstance { covers, universe: BitSet::full(3), forced: vec![] };
+        assert!(!inst.is_feasible());
+        assert_eq!(inst.solve_exact(usize::MAX), None);
+        assert_eq!(inst.solve_greedy(), None);
+    }
+
+    #[test]
+    fn cutoff_suppresses_uninteresting_solutions() {
+        let inst = graph_instance(&generators::path(9), vec![]);
+        // Optimum is 3; cutoff 3 demands < 3 → None.
+        assert_eq!(inst.solve_exact(3), None);
+        assert!(inst.solve_exact(4).is_some());
+    }
+
+    #[test]
+    fn empty_universe_needs_nothing() {
+        let covers = vec![BitSet::new(2), BitSet::new(2)];
+        let inst = DominationInstance { covers, universe: BitSet::new(2), forced: vec![] };
+        assert_eq!(inst.solve_exact(usize::MAX).unwrap(), Vec::<u32>::new());
+        assert_eq!(inst.solve_greedy().unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn zero_radius_domination_requires_everything() {
+        // covers[s] = {s} only: D must be the whole universe.
+        let n = 6;
+        let covers = (0..n as u32).map(|s| BitSet::from_elems(n, [s])).collect();
+        let inst = DominationInstance { covers, universe: BitSet::full(n), forced: vec![2] };
+        let extra = inst.solve_exact(usize::MAX).unwrap();
+        assert_eq!(extra.len(), n - 1, "all but the forced element");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the solver crate: the bitset, the
+//! dominating-set branch-and-bound, and the best-response reduction.
+
+use ncg_core::{GameSpec, GameState, PlayerView};
+use ncg_graph::NodeId;
+use ncg_solver::bitset::BitSet;
+use ncg_solver::dominating::DominationInstance;
+use ncg_solver::{max_br, Mode};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_elems(cap: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..cap as u32, 0..cap)
+}
+
+proptest! {
+    /// BitSet behaves like a BTreeSet.
+    #[test]
+    fn bitset_matches_btreeset(elems in arb_elems(150), removals in arb_elems(150)) {
+        let mut bs = BitSet::new(150);
+        let mut reference = std::collections::BTreeSet::new();
+        for &e in &elems {
+            prop_assert_eq!(bs.insert(e), reference.insert(e));
+        }
+        for &e in &removals {
+            prop_assert_eq!(bs.remove(e), reference.remove(&e));
+        }
+        prop_assert_eq!(bs.len(), reference.len());
+        prop_assert_eq!(bs.to_vec(), reference.iter().copied().collect::<Vec<u32>>());
+    }
+
+    /// Set algebra: union, superset, missing counts agree with the
+    /// reference implementation.
+    #[test]
+    fn bitset_algebra(a in arb_elems(100), b in arb_elems(100)) {
+        let sa = BitSet::from_elems(100, a.iter().copied());
+        let sb = BitSet::from_elems(100, b.iter().copied());
+        let ra: std::collections::BTreeSet<u32> = a.into_iter().collect();
+        let rb: std::collections::BTreeSet<u32> = b.into_iter().collect();
+        prop_assert_eq!(sa.is_superset(&sb), rb.is_subset(&ra));
+        prop_assert_eq!(sa.missing_from(&sb), rb.difference(&ra).count());
+        prop_assert_eq!(sa.intersection_len(&sb), ra.intersection(&rb).count());
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(u.len(), ra.union(&rb).count());
+        prop_assert_eq!(
+            sa.first_missing_from(&sb),
+            rb.difference(&ra).next().copied()
+        );
+    }
+
+    /// The exact dominating-set solver is optimal: no smaller feasible
+    /// subset exists (verified by exhaustive enumeration on ≤ 12
+    /// elements) and its output is feasible.
+    #[test]
+    fn exact_domination_is_optimal(seed in 0u64..500, p in 0.15f64..0.5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 11usize;
+        let g = ncg_graph::generators::gnp(n, p, &mut rng).unwrap();
+        let covers: Vec<BitSet> = (0..n as u32).map(|s| {
+            let mut b = BitSet::new(n);
+            b.insert(s);
+            for &v in g.neighbors(s) { b.insert(v); }
+            b
+        }).collect();
+        let inst = DominationInstance {
+            covers,
+            universe: BitSet::full(n),
+            forced: vec![],
+        };
+        let exact = inst.solve_exact(usize::MAX).map(|s| s.len());
+        // Brute force.
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << n) {
+            let mut covered = BitSet::new(n);
+            let mut size = 0;
+            for s in 0..n as u32 {
+                if mask & (1 << s) != 0 {
+                    covered.union_with(&inst.covers[s as usize]);
+                    size += 1;
+                }
+            }
+            if covered.is_superset(&inst.universe) && best.is_none_or(|b| size < b) {
+                best = Some(size);
+            }
+        }
+        prop_assert_eq!(exact, best);
+    }
+
+    /// Greedy solutions are always feasible and within the classical
+    /// (1 + ln n) factor of exact.
+    #[test]
+    fn greedy_domination_quality(seed in 0u64..300) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 40usize;
+        let g = ncg_graph::generators::gnp_connected(n, 0.12, 500, &mut rng).unwrap();
+        let covers: Vec<BitSet> = (0..n as u32).map(|s| {
+            let mut b = BitSet::new(n);
+            b.insert(s);
+            for &v in g.neighbors(s) { b.insert(v); }
+            b
+        }).collect();
+        let inst = DominationInstance { covers, universe: BitSet::full(n), forced: vec![] };
+        let greedy = inst.solve_greedy().unwrap();
+        let exact = inst.solve_exact(usize::MAX).unwrap();
+        let bound = (1.0 + (n as f64).ln()) * exact.len() as f64;
+        prop_assert!(greedy.len() as f64 <= bound + 1e-9);
+        let mut covered = BitSet::new(n);
+        for &s in &greedy {
+            covered.union_with(&inst.covers[s as usize]);
+        }
+        prop_assert!(covered.is_superset(&inst.universe));
+    }
+
+    /// The MaxNCG best response is stable under irrelevant graph
+    /// relabelling of the *view* — computed twice it returns the same
+    /// thing (pure function), and its strategy only names visible,
+    /// non-incoming vertices.
+    #[test]
+    fn max_br_is_pure_and_well_formed(seed in 0u64..200, k in 1u32..4, alpha in 0.1f64..5.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(18, 0.18, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::max(alpha, k);
+        for u in (0..state.n() as NodeId).step_by(5) {
+            let view = PlayerView::build(&state, u, k);
+            let a = max_br::max_best_response(&spec, &view, Mode::Exact);
+            let b = max_br::max_best_response(&spec, &view, Mode::Exact);
+            prop_assert_eq!(&a.strategy_local, &b.strategy_local);
+            prop_assert_eq!(a.total_cost, b.total_cost);
+            for &s in &a.strategy_local {
+                prop_assert!((s as usize) < view.len());
+                prop_assert_ne!(s, view.center);
+                prop_assert!(!view.incoming.contains(&s),
+                    "best responses never re-buy incoming edges");
+            }
+        }
+    }
+}

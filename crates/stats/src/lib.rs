@@ -1,0 +1,16 @@
+//! # ncg-stats — summary statistics for the experiment harness
+//!
+//! The paper reports every experimental quantity as a mean over 20
+//! repetitions with a 95% confidence interval. This crate provides
+//! exactly that: [`Summary`] (mean, sample standard deviation,
+//! Student-t 95% CI, min/max) plus lightweight text/CSV table
+//! rendering used by the figure and table binaries.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod summary;
+mod table;
+
+pub use summary::{t_critical_975, Summary};
+pub use table::{Table, TableStyle};

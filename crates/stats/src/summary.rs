@@ -1,0 +1,175 @@
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 97.5% Student-t critical values for `df = 1..=30`;
+/// beyond 30 degrees of freedom the normal approximation `1.96` is
+/// used (well within the rounding the paper reports).
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% Student-t critical value for the given degrees of
+/// freedom (`df ≥ 1`); `1.96` beyond `df = 30`.
+pub fn t_critical_975(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_975[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// Summary statistics of a sample: count, mean, sample standard
+/// deviation, min, max, and the Student-t 95% confidence half-width —
+/// the `mean ± hw` format of the paper's Tables I–II and error bars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean (0 for empty samples).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for `n < 2`).
+    pub sd: f64,
+    /// Smallest observation (`+∞` for empty samples).
+    pub min: f64,
+    /// Largest observation (`−∞` for empty samples).
+    pub max: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (`t₀.₉₇₅(n−1) · sd / √n`; 0 for `n < 2`).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                sd: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let (sd, ci95) = if n >= 2 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let sd = var.sqrt();
+            (sd, t_critical_975(n - 1) * sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        Summary { n, mean, sd, min, max, ci95 }
+    }
+
+    /// Summarises after converting from any numeric-like iterator.
+    pub fn of_iter(values: impl IntoIterator<Item = f64>) -> Self {
+        let v: Vec<f64> = values.into_iter().collect();
+        Self::of(&v)
+    }
+
+    /// `mean ± ci95` with the given precision — the cell format used
+    /// by Tables I and II.
+    pub fn display(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean, self.ci95, p = precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        // Sample 1..=5: mean 3, variance 2.5, sd ≈ 1.5811.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.sd - 2.5f64.sqrt()).abs() < 1e-12);
+        // CI half width: t(4)=2.776 · sd/√5.
+        let expect = 2.776 * 2.5f64.sqrt() / 5f64.sqrt();
+        assert!((s.ci95 - expect).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn paper_repetition_count_uses_t19() {
+        // 20 repetitions (the paper's setting) → df 19 → t = 2.093.
+        assert!((t_critical_975(19) - 2.093).abs() < 1e-12);
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s = Summary::of(&values);
+        let sd = s.sd;
+        assert!((s.ci95 - 2.093 * sd / 20f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_edges() {
+        assert_eq!(t_critical_975(0), f64::INFINITY);
+        assert!((t_critical_975(1) - 12.706).abs() < 1e-12);
+        assert!((t_critical_975(30) - 2.042).abs() < 1e-12);
+        assert!((t_critical_975(31) - 1.96).abs() < 1e-12);
+        assert!((t_critical_975(10_000) - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let s1 = Summary::of(&[7.5]);
+        assert_eq!(s1.mean, 7.5);
+        assert_eq!(s1.sd, 0.0);
+        assert_eq!(s1.ci95, 0.0);
+        let s0 = Summary::of(&[]);
+        assert_eq!(s0.n, 0);
+        assert_eq!(s0.mean, 0.0);
+        assert!(s0.min.is_infinite());
+    }
+
+    #[test]
+    fn display_format_matches_paper_tables() {
+        let s = Summary::of(&[10.0, 11.3]);
+        let text = s.display(2);
+        assert!(text.contains(" ± "));
+        assert!(text.starts_with("10.65"));
+    }
+
+    #[test]
+    fn of_iter_matches_of() {
+        let a = Summary::of(&[1.0, 2.0, 3.0]);
+        let b = Summary::of_iter([1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        // JSON float formatting may lose the last ULP; compare with
+        // tolerance rather than bitwise.
+        let s = Summary::of(&[1.0, 4.0, 9.0]);
+        let back: Summary = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s.n, back.n);
+        for (a, b) in [
+            (s.mean, back.mean),
+            (s.sd, back.sd),
+            (s.min, back.min),
+            (s.max, back.max),
+            (s.ci95, back.ci95),
+        ] {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal aligned-text and CSV table rendering.
+//!
+//! The figure/table binaries print the same rows the paper reports;
+//! this renderer keeps them readable in a terminal and loadable in any
+//! plotting tool via CSV.
+
+/// Output flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableStyle {
+    /// Space-padded, pipe-separated columns for terminals.
+    #[default]
+    Text,
+    /// RFC-4180-ish CSV (fields with commas/quotes get quoted).
+    Csv,
+}
+
+/// A simple rectangular table: a header and rows of strings.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders in the requested style.
+    pub fn render(&self, style: TableStyle) -> String {
+        match style {
+            TableStyle::Text => self.render_text(),
+            TableStyle::Csv => self.render_csv(),
+        }
+    }
+
+    fn render_text(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            row.iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut t = Table::new(["n", "diameter"]);
+        t.push_row(["20", "10.65 ± 0.76"]);
+        t.push_row(["200", "43.20 ± 3.95"]);
+        let text = t.render(TableStyle::Text);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("n  "));
+        assert!(lines[1].contains("-+-"));
+        assert!(lines[2].contains("10.65"));
+    }
+
+    #[test]
+    fn csv_rendering_and_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1,5", "plain"]);
+        t.push_row(["quote\"inside", "x"]);
+        let csv = t.render(TableStyle::Csv);
+        assert!(csv.contains("\"1,5\",plain"));
+        assert!(csv.contains("\"quote\"\"inside\",x"));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.push_row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! How much does locality cost? A miniature of the paper's Figure 7:
+//! sweep the knowledge radius `k` at fixed `α = 2` on random trees and
+//! print the measured equilibrium quality (SC/OPT) next to the
+//! theoretical trend curve.
+//!
+//! ```sh
+//! cargo run --release --example locality_sweep
+//! ```
+
+use ncg::core::Objective;
+use ncg::experiments::{sweep, workloads};
+use ncg::stats::Summary;
+
+fn main() {
+    let n = 50;
+    let reps = 5;
+    let alpha = 2.0;
+    let ks = [2u32, 3, 4, 5, 7, 10, 1000];
+    println!("Equilibrium quality vs knowledge radius (random trees, n = {n}, α = {alpha}):\n");
+    let states = workloads::tree_states(n, reps, 0xF16);
+    let results = sweep::sweep(&states, &[alpha], &ks, Objective::Max, None);
+    let grouped = sweep::by_cell(&results, &[alpha], &ks, reps);
+    println!("{:>6} {:>16} {:>12}", "k", "SC/OPT (±95%)", "trend f(k)");
+    let anchor = {
+        let (_, cells) = grouped[0];
+        let v: Vec<f64> = cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+        Summary::of(&v).mean / ncg::bounds::fig7_trend(ks[0])
+    };
+    for (i, &k) in ks.iter().enumerate() {
+        let (_, cells) = grouped[i];
+        let v: Vec<f64> = cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+        let s = Summary::of(&v);
+        let trend = if k <= 30 {
+            format!("{:.2}", anchor * ncg::bounds::fig7_trend(k))
+        } else {
+            "—".to_string()
+        };
+        println!("{:>6} {:>16} {:>12}", k, s.display(2), trend);
+    }
+    println!(
+        "\nThe quality (empirical PoA) degrades for myopic players (small k) and \
+         approaches the full-knowledge constant once k exceeds the stable networks' \
+         diameter — the crossover the paper reports around k ≈ 5–7."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a locality-based network creation game, run the
+//! best-response dynamics, and inspect the equilibrium.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ncg::core::{GameSpec, GameState};
+use ncg::dynamics::{run, DynamicsConfig};
+use ncg::graph::generators;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. A workload: a uniform random tree on 40 players, each edge
+    //    owned by a fair coin toss — exactly the paper's Section 5.2
+    //    tree class.
+    let mut rng = ChaCha8Rng::seed_from_u64(2014);
+    let tree = generators::random_tree(40, &mut rng);
+    let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+    println!(
+        "initial network: n = {}, m = {}, diameter = {:?}",
+        initial.n(),
+        initial.graph().edge_count(),
+        ncg::graph::metrics::diameter(initial.graph())
+    );
+
+    // 2. The game: MaxNCG with edge price α = 1 and knowledge radius
+    //    k = 3 — players see only 3 hops and evaluate deviations
+    //    against the worst network consistent with that view.
+    let spec = GameSpec::max(1.0, 3);
+
+    // 3. Round-robin best-response dynamics (Section 5.1): each player
+    //    in turn plays an exact best response; stop when a full round
+    //    is quiet.
+    let result = run(initial, &DynamicsConfig::new(spec));
+    println!("outcome: {:?} after {} accepted moves", result.outcome, result.total_moves);
+
+    // 4. The stable network and its quality.
+    let m = &result.final_metrics;
+    println!(
+        "equilibrium: diameter = {:?}, max degree = {}, max bought = {}, \
+         social cost = {:.1}, SC/OPT = {:.2}",
+        m.diameter,
+        m.max_degree,
+        m.max_bought,
+        m.social_cost.unwrap(),
+        m.quality.unwrap()
+    );
+
+    // 5. Certify: the reached profile is a Local Knowledge Equilibrium
+    //    (no player can improve against her worst-case view).
+    assert!(ncg::solver::is_lke(&result.state, &spec));
+    println!("certified: the reached profile is an LKE ✓");
+}

@@ -1,0 +1,59 @@
+//! MaxNCG vs SumNCG under locality: the same workload, the two
+//! objectives, and the conservative SumNCG frontier rule
+//! (Proposition 2.2) in action.
+//!
+//! ```sh
+//! cargo run --release --example sum_vs_max
+//! ```
+
+use ncg::core::deviation::{evaluate_max, evaluate_sum, DeviationEval, EvalScratch};
+use ncg::core::{GameSpec, GameState, Objective, PlayerView};
+use ncg::dynamics::{run, DynamicsConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // Part 1 — the dyscrasia of Section 2: a move that MaxNCG permits
+    // can be forbidden for a SumNCG player, because pushing a frontier
+    // vertex beyond distance k risks unbounded invisible cost.
+    let path: Vec<Vec<u32>> =
+        (0..6).map(|i| if i < 5 { vec![i + 1] } else { vec![] }).collect();
+    let state = GameState::from_strategies(6, path);
+    let u = 0u32;
+    let k = 2;
+    let view = PlayerView::build(&state, u, k);
+    // Player 0 owns (0,1); her frontier is node 2. Consider dropping
+    // everything (the empty strategy).
+    let mut scratch = EvalScratch::new();
+    let max_eval = evaluate_max(&view, &[], &mut scratch);
+    let sum_eval = evaluate_sum(&view, &[], &mut scratch);
+    println!("player 0 on a path, k = {k}; candidate strategy: buy nothing");
+    println!("  MaxNCG evaluation: {max_eval:?} (plain infinite cost)");
+    println!("  SumNCG evaluation: {sum_eval:?} (Proposition 2.2 frontier rule)");
+    assert_eq!(max_eval, DeviationEval::Disconnecting);
+    assert_eq!(sum_eval, DeviationEval::ForbiddenFrontier);
+
+    // Part 2 — dynamics under both objectives on the same tree.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let tree = ncg::graph::generators::random_tree(24, &mut rng);
+    let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+    println!("\nsame 24-player random tree, α = 1.5, k = 3:");
+    for objective in [Objective::Max, Objective::Sum] {
+        let spec = GameSpec { alpha: 1.5, k: 3, objective };
+        let result = run(initial.clone(), &DynamicsConfig::new(spec));
+        let m = &result.final_metrics;
+        println!(
+            "  {objective}: outcome {:?}, diameter {:?}, max degree {}, SC = {:.1}",
+            result.outcome,
+            m.diameter,
+            m.max_degree,
+            m.social_cost.unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "\nSumNCG players, paying a distance to *every* node, build denser and \
+         shallower equilibria than MaxNCG players, and the frontier rule makes \
+         them strictly more conservative — the asymmetry the paper highlights \
+         when explaining why its experiments focus on MaxNCG."
+    );
+}

@@ -1,0 +1,36 @@
+//! # ncg — locality-based network creation games
+//!
+//! Facade crate for the `ncg` workspace, a production-quality Rust
+//! reproduction of
+//!
+//! > Bilò, Gualà, Leucci, Proietti. *Locality-based Network Creation
+//! > Games.* SPAA 2014 / ACM TOPC 3(1), 2016.
+//!
+//! Re-exports every workspace crate under one roof and provides a
+//! [`prelude`]. See the individual crates for details:
+//!
+//! * [`graph`] — graph substrate (BFS, metrics, views, generators).
+//! * [`core`] — the game: states, costs, views, LKE/NE.
+//! * [`solver`] — exact & greedy best-response engines.
+//! * [`dynamics`] — round-robin best-response dynamics (Section 5).
+//! * [`constructions`] — the lower-bound gadgets (Section 3.1, 4).
+//! * [`bounds`] — PoA bound formulas and region maps (Figures 3–4).
+//! * [`stats`] — summary statistics with 95% confidence intervals.
+//! * [`experiments`] — the harness reproducing every table and figure.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ncg_bounds as bounds;
+pub use ncg_constructions as constructions;
+pub use ncg_core as core;
+pub use ncg_dynamics as dynamics;
+pub use ncg_experiments as experiments;
+pub use ncg_graph as graph;
+pub use ncg_solver as solver;
+pub use ncg_stats as stats;
+
+/// One-stop import for examples and downstream users.
+pub mod prelude {
+    pub use ncg_core::prelude::*;
+}

@@ -1,0 +1,128 @@
+//! Cross-crate property-based tests: invariants that must survive the
+//! whole pipeline, on randomly generated instances.
+
+use ncg::core::deviation::{current_total, evaluate_total, EvalScratch};
+use ncg::core::{GameSpec, GameState, Objective, PlayerView};
+use ncg::dynamics::{run, DynamicsConfig};
+use ncg::graph::{generators, metrics, NodeId};
+use ncg::solver::{max_br, sum_br, Mode};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a random connected game state on `n ≤ 16` players.
+fn arb_state() -> impl Strategy<Value = GameState> {
+    (6usize..16, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tree = generators::random_tree(n, &mut rng);
+        let mut g = tree;
+        // Sprinkle a few extra edges for cycles.
+        for _ in 0..n / 3 {
+            let u = rand::Rng::random_range(&mut rng, 0..g.node_count() as NodeId);
+            let v = rand::Rng::random_range(&mut rng, 0..g.node_count() as NodeId);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        GameState::from_graph_random_ownership(&g, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact MaxNCG solver never loses to exhaustive search and
+    /// never wins (they agree up to EPS).
+    #[test]
+    fn solver_equals_exhaustive(state in arb_state(), k in 1u32..4, alpha in 0.05f64..6.0) {
+        let spec = GameSpec::max(alpha, k);
+        for u in 0..state.n() as NodeId {
+            let view = PlayerView::build(&state, u, k);
+            if view.candidates().len() > 14 {
+                continue; // keep exhaustive fast
+            }
+            let exact = max_br::max_best_response(&spec, &view, Mode::Exact);
+            let brute = ncg::core::equilibrium::best_response_exhaustive(&spec, &view).unwrap();
+            prop_assert!((exact.total_cost - brute.total_cost).abs() < 1e-9,
+                "u={}, solver={}, brute={}", u, exact.total_cost, brute.total_cost);
+        }
+    }
+
+    /// Every best response (both objectives, both modes) is evaluable
+    /// and not worse than standing still.
+    #[test]
+    fn best_responses_never_regress(state in arb_state(), k in 1u32..5, alpha in 0.05f64..8.0) {
+        let mut scratch = EvalScratch::new();
+        for objective in [Objective::Max, Objective::Sum] {
+            let spec = GameSpec { alpha, k, objective };
+            for u in 0..state.n() as NodeId {
+                let view = PlayerView::build(&state, u, k);
+                let current = current_total(&spec, &view);
+                for mode in [Mode::Exact, Mode::Greedy] {
+                    let d = match objective {
+                        Objective::Max => max_br::max_best_response(&spec, &view, mode),
+                        Objective::Sum => sum_br::sum_best_response(&spec, &view, mode),
+                    };
+                    prop_assert!(d.total_cost <= current + 1e-9);
+                    // Contract: reported cost equals re-evaluation.
+                    let re = evaluate_total(&spec, &view, &d.strategy_local, &mut scratch);
+                    prop_assert!((re - d.total_cost).abs() < 1e-9
+                        || (re.is_infinite() && d.total_cost.is_infinite()));
+                }
+            }
+        }
+    }
+
+    /// Dynamics preserve state validity and connectivity, and are
+    /// deterministic.
+    #[test]
+    fn dynamics_invariants(state in arb_state(), k in 1u32..5, alpha in 0.1f64..6.0) {
+        let spec = GameSpec::max(alpha, k);
+        let config = DynamicsConfig::new(spec);
+        let a = run(state.clone(), &config);
+        prop_assert!(a.state.validate().is_ok());
+        prop_assert!(metrics::is_connected(a.state.graph()));
+        let b = run(state, &config);
+        prop_assert_eq!(a.state, b.state);
+        prop_assert_eq!(a.outcome, b.outcome);
+    }
+
+    /// If the dynamics converge, the exact checker confirms an LKE.
+    #[test]
+    fn converged_is_lke(state in arb_state(), k in 2u32..4, alpha in 0.2f64..5.0) {
+        let spec = GameSpec::max(alpha, k);
+        let result = run(state, &DynamicsConfig::new(spec));
+        if result.outcome.converged() {
+            prop_assert!(ncg::solver::is_lke(&result.state, &spec));
+        }
+    }
+
+    /// View semantics: with k at least the diameter, the view of every
+    /// player is the whole graph and current_total equals the player's
+    /// true cost.
+    #[test]
+    fn full_view_cost_equals_true_cost(state in arb_state(), alpha in 0.1f64..4.0) {
+        let diam = metrics::diameter(state.graph()).unwrap();
+        let spec = GameSpec::max(alpha, diam.max(1));
+        for u in 0..state.n() as NodeId {
+            let view = PlayerView::build(&state, u, spec.k);
+            prop_assert_eq!(view.len(), state.n());
+            let ecc = metrics::eccentricity(state.graph(), u).unwrap();
+            let expected = alpha * state.bought(u) as f64 + ecc as f64;
+            prop_assert!((current_total(&spec, &view) - expected).abs() < 1e-9);
+        }
+    }
+
+    /// The social optimum formulas lower-bound every reachable state.
+    #[test]
+    fn optimum_is_a_lower_bound(state in arb_state(), alpha in 0.1f64..6.0) {
+        for objective in [Objective::Max, Objective::Sum] {
+            let spec = GameSpec { alpha, k: 3, objective };
+            if let Some(sc) = ncg::core::social::social_cost(&state, &spec) {
+                let opt = ncg::core::social::optimum_cost(state.n(), &spec);
+                prop_assert!(sc >= opt - 1e-9,
+                    "state cost {} below claimed optimum {} ({:?})", sc, opt, objective);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration: workload → dynamics → equilibrium →
+//! certification → structural properties of equilibria.
+
+use ncg::core::{social, GameSpec, GameState, Objective};
+use ncg::dynamics::{run, DynamicsConfig, Outcome};
+use ncg::graph::{generators, metrics};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Helper: run dynamics on a random tree and return the result.
+fn settle_tree(n: usize, spec: GameSpec, seed: u64) -> ncg::dynamics::RunResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tree = generators::random_tree(n, &mut rng);
+    let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+    run(initial, &DynamicsConfig::new(spec))
+}
+
+#[test]
+fn converged_profiles_are_certified_lkes() {
+    for (alpha, k, seed) in [(0.3, 2u32, 1u64), (1.0, 3, 2), (5.0, 4, 3), (2.0, 1000, 4)] {
+        let spec = GameSpec::max(alpha, k);
+        let result = settle_tree(24, spec, seed);
+        assert!(result.outcome.converged(), "α={alpha}, k={k}");
+        assert!(
+            ncg::solver::is_lke(&result.state, &spec),
+            "reached profile must certify as LKE (α={alpha}, k={k})"
+        );
+    }
+}
+
+#[test]
+fn equilibria_stay_connected() {
+    // Players never accept disconnecting moves (infinite worst-case
+    // cost), so connectivity is invariant under the dynamics.
+    for seed in 0..5 {
+        let result = settle_tree(30, GameSpec::max(0.5, 3), seed);
+        assert!(metrics::is_connected(result.state.graph()));
+    }
+}
+
+#[test]
+fn social_cost_identity() {
+    // SC = α·total_bought + Σ_u usage_u, for both objectives.
+    let result = settle_tree(20, GameSpec::max(1.5, 3), 7);
+    let state = &result.state;
+    for objective in [Objective::Max, Objective::Sum] {
+        let spec = GameSpec { alpha: 1.5, k: 3, objective };
+        let sc = social::social_cost(state, &spec).unwrap();
+        let usage_sum: f64 = match objective {
+            Objective::Max => metrics::eccentricities(state.graph())
+                .iter()
+                .map(|&e| e as f64)
+                .sum(),
+            Objective::Sum => (0..state.n() as u32)
+                .map(|u| metrics::status(state.graph(), u).unwrap() as f64)
+                .sum(),
+        };
+        let expect = 1.5 * state.total_bought() as f64 + usage_sum;
+        assert!((sc - expect).abs() < 1e-9, "{objective}: {sc} vs {expect}");
+    }
+}
+
+#[test]
+fn lemma_3_17_girth_of_equilibria() {
+    // In any MaxNCG equilibrium, girth ≥ 2 + min{α, 2k}: a player
+    // owning an edge of a shorter visible cycle would drop it.
+    for (alpha, k, seed) in [(3.0, 3u32, 11u64), (5.0, 2, 12), (2.0, 4, 13)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::gnp_connected(26, 0.15, 500, &mut rng).unwrap();
+        let initial = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::max(alpha, k);
+        let result = run(initial, &DynamicsConfig::new(spec));
+        if !result.outcome.converged() {
+            continue;
+        }
+        if let Some(girth) = metrics::girth(result.state.graph()) {
+            let bound = 2.0 + alpha.min(2.0 * k as f64);
+            assert!(
+                (girth as f64) >= bound - 1e-9,
+                "girth {girth} < {bound} at α={alpha}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_knowledge_lke_is_nash() {
+    // With k ≥ diameter, the LKE and NE predicates agree on reached
+    // equilibria (Corollary 3.14's easy direction, checked both ways
+    // via the exhaustive searcher on a small instance).
+    let spec = GameSpec::max(1.0, 1000);
+    let result = settle_tree(12, spec, 21);
+    assert!(result.outcome.converged());
+    let lke = ncg::core::equilibrium::is_lke_exhaustive(&result.state, &spec).unwrap();
+    let ne = ncg::core::equilibrium::is_ne_exhaustive(&result.state, &spec).unwrap();
+    assert!(lke && ne, "full-knowledge equilibrium must be both LKE and NE");
+}
+
+#[test]
+fn theorem_4_4_collapse_for_sum() {
+    // k > 1 + 2√α ⇒ every SumNCG LKE is full-knowledge. Verify on a
+    // reached equilibrium: every player's view covers the graph.
+    let spec = GameSpec::sum(1.0, 4); // 4 > 1 + 2·1 = 3 ✓
+    let result = settle_tree(14, spec, 22);
+    assert!(result.outcome.converged());
+    let diam = metrics::diameter(result.state.graph()).unwrap();
+    assert!(
+        diam <= spec.k,
+        "Theorem 4.4 regime: equilibrium diameter {diam} must be within k = {}",
+        spec.k
+    );
+}
+
+#[test]
+fn cheap_alpha_full_knowledge_builds_low_diameter() {
+    // Full knowledge + cheap edges ⇒ near-star equilibria.
+    let result = settle_tree(30, GameSpec::max(0.2, 1000), 31);
+    assert!(result.outcome.converged());
+    assert!(result.final_metrics.diameter.unwrap() <= 4);
+    assert!(result.final_metrics.quality.unwrap() < 3.0);
+}
+
+#[test]
+fn dynamics_strictly_reduce_mover_cost() {
+    // Accepted moves strictly reduce the mover's perceived cost; with
+    // per-round metrics on, the social cost trace must reflect real
+    // movement (not necessarily monotone, but changing while moves
+    // happen).
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let tree = generators::random_tree(24, &mut rng);
+    let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+    let spec = GameSpec::max(0.5, 4);
+    let config = DynamicsConfig::new(spec).with_per_round_metrics();
+    let result = run(initial.clone(), &config);
+    match result.outcome {
+        Outcome::Converged { rounds } => {
+            assert_eq!(result.round_metrics.len(), rounds);
+            if result.total_moves > 0 {
+                let first = &result.round_metrics[0];
+                assert_ne!(
+                    (first.edges, first.social_cost.map(|c| c.to_bits())),
+                    (
+                        initial.graph().edge_count(),
+                        social::social_cost(&initial, &spec).map(|c| c.to_bits())
+                    ),
+                    "movement must change the network"
+                );
+            }
+        }
+        other => panic!("expected convergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn er_workload_pipeline() {
+    // Table II inputs flow through the same pipeline.
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let g = generators::gnp_connected(30, 0.12, 500, &mut rng).unwrap();
+    let initial = GameState::from_graph_random_ownership(&g, &mut rng);
+    let spec = GameSpec::max(2.0, 3);
+    let result = run(initial, &DynamicsConfig::new(spec));
+    assert!(result.outcome.converged());
+    let m = &result.final_metrics;
+    assert!(m.max_bought <= m.max_degree);
+    assert!(m.min_view as f64 <= m.avg_view);
+    assert!(m.quality.unwrap() >= 1.0 - 1e-9);
+}

@@ -1,0 +1,133 @@
+//! Section 2 of the paper grounds NP-hardness of best responses in a
+//! reduction from MINIMUM DOMINATING SET: a new player joining the
+//! network `G` (initially buying edges to everyone) has a best
+//! response that buys exactly the edges towards a minimum dominating
+//! set of `G`. These tests *execute* that reduction: they compare the
+//! exact solver's best response against a brute-force domination
+//! number.
+
+use ncg::core::{GameSpec, GameState, PlayerView};
+use ncg::graph::{generators, Graph, NodeId};
+use ncg::solver::{max_br, Mode};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Brute-force domination number of `g` (n ≤ 20).
+fn domination_number(g: &Graph) -> usize {
+    let n = g.node_count();
+    assert!(n <= 20);
+    let mut best = n;
+    'mask: for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        for v in 0..n as NodeId {
+            let dominated = mask & (1 << v) != 0
+                || g.neighbors(v).iter().any(|&u| mask & (1 << u) != 0);
+            if !dominated {
+                continue 'mask;
+            }
+        }
+        best = size;
+    }
+    best
+}
+
+/// Builds the reduction instance: the host graph `G` plus a new
+/// player `u = n` buying edges to every vertex (the paper's starting
+/// strategy for the joining player), with `G`'s own edges owned by
+/// arbitrary endpoints.
+fn joining_player_state(g: &Graph) -> (GameState, NodeId) {
+    let n = g.node_count();
+    let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n + 1];
+    for (a, b) in g.edges() {
+        strategies[a as usize].push(b);
+    }
+    strategies[n] = (0..n as NodeId).collect();
+    (GameState::from_strategies(n + 1, strategies), n as NodeId)
+}
+
+#[test]
+fn joining_players_best_response_is_a_minimum_dominating_set() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD5);
+    for trial in 0..6 {
+        let g = generators::gnp_connected(12, 0.25, 500, &mut rng).unwrap();
+        let gamma = domination_number(&g);
+        if gamma < 2 {
+            continue; // degenerate: a universal vertex trivialises the instance
+        }
+        let (state, u) = joining_player_state(&g);
+        // α = 2/n as in the Mihalák–Schlegel reduction: cheap enough
+        // that staying adjacent-ish to everyone beats dropping to
+        // eccentricity 3+, expensive enough that edges are not free.
+        let alpha = 2.0 / g.node_count() as f64;
+        let spec = GameSpec::max(alpha, 2);
+        let view = PlayerView::build(&state, u, spec.k);
+        assert_eq!(view.len(), state.n(), "the joining player sees everything at k = 2");
+        let best = max_br::max_best_response(&spec, &view, Mode::Exact);
+        // Best response: buy a minimum dominating set (eccentricity 2)
+        // — cost α·γ + 2 — unless buying everything (ecc 1) is cheaper,
+        // which α = 2/n rules out for γ ≥ 2... compare both anyway.
+        let buy_all = alpha * g.node_count() as f64 + 1.0;
+        let buy_mds = alpha * gamma as f64 + 2.0;
+        let expected = buy_all.min(buy_mds);
+        assert!(
+            (best.total_cost - expected).abs() < 1e-9,
+            "trial {trial}: solver found {}, reduction predicts {expected} (γ = {gamma})",
+            best.total_cost
+        );
+        // When the MDS branch wins, the strategy must dominate G.
+        if buy_mds < buy_all {
+            assert_eq!(best.strategy_local.len(), gamma);
+            let strategy_global: Vec<NodeId> = view.strategy_to_global(&best.strategy_local);
+            for v in 0..g.node_count() as NodeId {
+                let dominated = strategy_global.contains(&v)
+                    || g.neighbors(v).iter().any(|w| strategy_global.contains(w));
+                assert!(dominated, "trial {trial}: vertex {v} not dominated");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_is_robust_to_the_players_current_strategy() {
+    // The paper notes the best response is independent of the
+    // strategy currently played. Start the joining player from the
+    // empty strategy instead (she still sees everything through the
+    // incoming edges? no — she is isolated; so instead start her with
+    // a single edge) and verify the same optimum value is reached.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD6);
+    let g = generators::gnp_connected(11, 0.3, 500, &mut rng).unwrap();
+    let n = g.node_count();
+    let (state_all, u) = joining_player_state(&g);
+    let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n + 1];
+    for (a, b) in g.edges() {
+        strategies[a as usize].push(b);
+    }
+    strategies[n] = vec![0];
+    let state_one = GameState::from_strategies(n + 1, strategies);
+    let alpha = 2.0 / n as f64;
+    // k large enough that even the single-edge player sees everything.
+    let spec = GameSpec::max(alpha, 1000);
+    let va = PlayerView::build(&state_all, u, spec.k);
+    let vb = PlayerView::build(&state_one, u, spec.k);
+    let ba = max_br::max_best_response(&spec, &va, Mode::Exact);
+    let bb = max_br::max_best_response(&spec, &vb, Mode::Exact);
+    // Optimal *total* cost net of the α·|σ| term structure is the
+    // same game; the best-response values must coincide.
+    assert!(
+        (ba.total_cost - bb.total_cost).abs() < 1e-9,
+        "best response must not depend on the current strategy: {} vs {}",
+        ba.total_cost,
+        bb.total_cost
+    );
+}
+
+#[test]
+fn domination_number_bruteforce_sanity() {
+    assert_eq!(domination_number(&generators::star(8)), 1);
+    assert_eq!(domination_number(&generators::path(9)), 3);
+    assert_eq!(domination_number(&generators::cycle(9)), 3);
+    assert_eq!(domination_number(&generators::complete(5)), 1);
+}
