@@ -39,9 +39,7 @@ fn bench_parallel_vs_sequential_sweep(c: &mut Criterion) {
     group.sample_size(10);
     let states = workloads::tree_states(30, 4, 77);
     let config = DynamicsConfig::new(GameSpec::max(1.0, 3));
-    group.bench_function("rayon_default_pool", |b| {
-        b.iter(|| run_many(states.clone(), &config))
-    });
+    group.bench_function("rayon_default_pool", |b| b.iter(|| run_many(states.clone(), &config)));
     group.bench_function("single_thread_pool", |b| {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         b.iter(|| pool.install(|| run_many(states.clone(), &config)))
@@ -72,11 +70,7 @@ fn bench_sum_vs_max_dynamics(c: &mut Criterion) {
         b.iter(|| run(initial.clone(), &config))
     });
     group.bench_function("sum_k3", |b| {
-        let config = DynamicsConfig::new(GameSpec {
-            alpha: 1.5,
-            k: 3,
-            objective: Objective::Sum,
-        });
+        let config = DynamicsConfig::new(GameSpec { alpha: 1.5, k: 3, objective: Objective::Sum });
         b.iter(|| run(initial.clone(), &config))
     });
     group.finish();

@@ -35,14 +35,10 @@ fn bench_torus_certs(c: &mut Criterion) {
     group.sample_size(10);
     let max_torus = TorusGrid::for_theorem_312(2.0, 2, 4).unwrap();
     let max_spec = GameSpec::max(2.0, 2);
-    group.bench_function("thm312_max_n48", |b| {
-        b.iter(|| assert!(max_torus.certify(&max_spec)))
-    });
+    group.bench_function("thm312_max_n48", |b| b.iter(|| assert!(max_torus.certify(&max_spec))));
     let sum_torus = TorusGrid::for_theorem_42(2, 4).unwrap();
     let sum_spec = GameSpec::sum(40.0, 2);
-    group.bench_function("thm42_sum_n48", |b| {
-        b.iter(|| assert!(sum_torus.certify(&sum_spec)))
-    });
+    group.bench_function("thm42_sum_n48", |b| b.iter(|| assert!(sum_torus.certify(&sum_spec))));
     group.finish();
 }
 

@@ -32,8 +32,7 @@ pub fn certify(n: usize, spec: &GameSpec) -> bool {
 /// closed-form optimum.
 pub fn witnessed_poa(n: usize, spec: &GameSpec) -> f64 {
     let state = cycle_equilibrium(n);
-    let sc = ncg_core::social::social_cost(&state, spec)
-        .expect("cycles are connected");
+    let sc = ncg_core::social::social_cost(&state, spec).expect("cycles are connected");
     sc / ncg_core::social::optimum_cost(n, spec)
 }
 

@@ -80,11 +80,7 @@ mod tests {
         // |E| = |V| − 1 within the view.
         for u in (0..80u32).step_by(9) {
             let view = ncg_core::PlayerView::build(&gadget.state, u, 2);
-            assert_eq!(
-                view.sub.graph.edge_count(),
-                view.len() - 1,
-                "view of {u} is not a tree"
-            );
+            assert_eq!(view.sub.graph.edge_count(), view.len() - 1, "view of {u} is not a tree");
         }
     }
 

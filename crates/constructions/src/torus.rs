@@ -105,7 +105,7 @@ impl TorusGrid {
         debug_assert_eq!(n_inter as u64, 2 * deltas.iter().map(|&x| x as u64).product::<u64>());
         let paths_per_vertex = 1usize << (d - 1); // canonical: s_d = +1
         let total_paths = n_inter * paths_per_vertex;
-        let n_total = n_inter + total_paths * (ell as usize - 1).max(0);
+        let n_total = n_inter + total_paths * (ell as usize - 1);
         let mut graph = Graph::new(n_total);
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n_total];
         // Walk every canonical path.
@@ -123,16 +123,7 @@ impl TorusGrid {
             for sign_mask in 0..paths_per_vertex {
                 // signs for dims 0..d−1 from the mask; dim d−1 fixed +1.
                 let s: Vec<i64> = (0..d)
-                    .map(|i| {
-                        if i == d - 1 {
-                            1
-                        } else if sign_mask >> i & 1 == 1 {
-                            1
-                        } else {
-                            -1
-                        }
-                    })
-                    .map(|v| v as i64)
+                    .map(|i| if i == d - 1 || sign_mask >> i & 1 == 1 { 1 } else { -1 })
                     .collect();
                 let mut prev = x_id;
                 for t in 1..=ell as i64 {
@@ -285,13 +276,7 @@ impl TorusGrid {
             let x = coords[x_id as usize].clone();
             for sign_mask in 0..(1usize << (d - 1)) {
                 let s: Vec<i64> = (0..d)
-                    .map(|i| {
-                        if i == d - 1 || sign_mask >> i & 1 == 1 {
-                            1i64
-                        } else {
-                            -1i64
-                        }
-                    })
+                    .map(|i| if i == d - 1 || sign_mask >> i & 1 == 1 { 1i64 } else { -1i64 })
                     .collect();
                 // Endpoint must exist (no wrap): compute and look up.
                 let endpoint: Option<Vec<u32>> = x
@@ -450,6 +435,7 @@ mod tests {
     use ncg_graph::metrics;
 
     #[test]
+    #[allow(clippy::identity_op)] // the factors spell out N(1 + 2^{d−1}(ℓ−1))
     fn figure2_shape() {
         // Figure 2: d = 2, δ = (3, 4), ℓ = 2.
         let t = TorusGrid::closed(&[3, 4], 2).unwrap();
@@ -490,10 +476,7 @@ mod tests {
             for y in 0..t.n() as NodeId {
                 let lb = t.coordinate_distance_lb(x, y);
                 let real = dm[x as usize][y as usize];
-                assert!(
-                    real >= lb,
-                    "d({x},{y}) = {real} below coordinate bound {lb}"
-                );
+                assert!(real >= lb, "d({x},{y}) = {real} below coordinate bound {lb}");
                 // Note: the paper also claims strictness when an
                 // endpoint is an intersection vertex, but that fails
                 // already for adjacent diagonal pairs (e.g. (0,0) and
@@ -529,10 +512,7 @@ mod tests {
         assert_eq!(t.ell, 2);
         assert_eq!(t.d, 2);
         assert_eq!(t.deltas, vec![2, 3]);
-        assert!(
-            t.certify(&GameSpec::max(2.0, 2)),
-            "Theorem 3.12 instance must be a MaxNCG LKE"
-        );
+        assert!(t.certify(&GameSpec::max(2.0, 2)), "Theorem 3.12 instance must be a MaxNCG LKE");
     }
 
     #[test]

@@ -173,8 +173,8 @@ mod tests {
 
     fn path_state(n: usize) -> GameState {
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n - 1 {
-            strategies[i].push((i + 1) as NodeId);
+        for (i, sigma) in strategies.iter_mut().enumerate().take(n - 1) {
+            sigma.push((i + 1) as NodeId);
         }
         GameState::from_strategies(n, strategies)
     }
@@ -227,8 +227,7 @@ mod tests {
         assert_eq!(current_total(&GameSpec::max(1.0, 100), &v), 1.0 + 6.0);
         // Buy edges to 1 and 4: distances to 2,3 via 1 (2,3); to 4,5,6
         // via 4 (1,2,3) → ecc 3.
-        let strat: Vec<NodeId> =
-            vec![v.sub.to_local(1).unwrap(), v.sub.to_local(4).unwrap()];
+        let strat: Vec<NodeId> = vec![v.sub.to_local(1).unwrap(), v.sub.to_local(4).unwrap()];
         assert_eq!(evaluate_max(&v, &strat, &mut scratch), DeviationEval::Usage(3));
     }
 
@@ -267,10 +266,7 @@ mod tests {
         let mut scratch = EvalScratch::new();
         // Dropping node 4 from the purchases pushes frontier vertex 4
         // beyond k = 1 (it becomes unreachable in H'): forbidden.
-        let strat: Vec<NodeId> = [1, 2, 3]
-            .iter()
-            .map(|&g| v.sub.to_local(g).unwrap())
-            .collect();
+        let strat: Vec<NodeId> = [1, 2, 3].iter().map(|&g| v.sub.to_local(g).unwrap()).collect();
         assert_eq!(evaluate_sum(&v, &strat, &mut scratch), DeviationEval::ForbiddenFrontier);
     }
 
@@ -278,16 +274,11 @@ mod tests {
     fn max_has_no_frontier_rule() {
         // Same star: dropping a frontier vertex under Max is merely
         // Disconnecting (infinite), not specially forbidden.
-        let s = GameState::from_strategies(
-            5,
-            vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]],
-        );
+        let s =
+            GameState::from_strategies(5, vec![vec![1, 2, 3, 4], vec![], vec![], vec![], vec![]]);
         let v = PlayerView::build(&s, 0, 1);
         let mut scratch = EvalScratch::new();
-        let strat: Vec<NodeId> = [1, 2, 3]
-            .iter()
-            .map(|&g| v.sub.to_local(g).unwrap())
-            .collect();
+        let strat: Vec<NodeId> = [1, 2, 3].iter().map(|&g| v.sub.to_local(g).unwrap()).collect();
         assert_eq!(evaluate_max(&v, &strat, &mut scratch), DeviationEval::Disconnecting);
     }
 

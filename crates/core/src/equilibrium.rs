@@ -81,19 +81,14 @@ pub const EXHAUSTIVE_CAP: usize = 20;
 ///
 /// Ties are broken toward fewer purchased edges, then lexicographically
 /// smaller strategies, so the result is deterministic.
-pub fn best_response_exhaustive(
-    spec: &GameSpec,
-    view: &PlayerView,
-) -> Result<Deviation, TooLarge> {
+pub fn best_response_exhaustive(spec: &GameSpec, view: &PlayerView) -> Result<Deviation, TooLarge> {
     let candidates = view.candidates();
     if candidates.len() > EXHAUSTIVE_CAP {
         return Err(TooLarge { candidates: candidates.len(), cap: EXHAUSTIVE_CAP });
     }
     let mut scratch = EvalScratch::new();
-    let mut best = Deviation {
-        strategy_local: view.purchases.clone(),
-        total_cost: current_total(spec, view),
-    };
+    let mut best =
+        Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
     let mut strat: Vec<NodeId> = Vec::with_capacity(candidates.len());
     for mask in 0u32..(1u32 << candidates.len()) {
         strat.clear();
@@ -226,11 +221,8 @@ mod tests {
     fn exhaustive_cap_is_enforced() {
         let state = GameState::star_center_owned(EXHAUSTIVE_CAP + 3);
         let spec = GameSpec::max(1.0, 2);
-        let err = best_response_exhaustive(
-            &spec,
-            &PlayerView::build(&state, 0, spec.k),
-        )
-        .unwrap_err();
+        let err =
+            best_response_exhaustive(&spec, &PlayerView::build(&state, 0, spec.k)).unwrap_err();
         assert_eq!(err.candidates, EXHAUSTIVE_CAP + 2);
         assert!(err.to_string().contains("exceeds"));
     }
@@ -272,9 +264,8 @@ mod tests {
     fn closure_implements_best_responder() {
         let state = GameState::cycle_successor(6);
         let spec = GameSpec::max(2.0, 2);
-        let mut responder = |spec: &GameSpec, view: &PlayerView| {
-            best_response_exhaustive(spec, view).unwrap()
-        };
+        let mut responder =
+            |spec: &GameSpec, view: &PlayerView| best_response_exhaustive(spec, view).unwrap();
         assert!(is_lke_with(&state, &spec, &mut responder));
     }
 

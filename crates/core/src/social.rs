@@ -19,12 +19,10 @@ use crate::{GameSpec, GameState, Objective};
 pub fn player_costs(state: &GameState, spec: &GameSpec) -> Vec<Option<f64>> {
     let g = state.graph();
     let usages: Vec<Option<u64>> = match spec.objective {
-        Objective::Max => {
-            metrics::eccentricities(g)
-                .into_iter()
-                .map(|e| if e == ncg_graph::INFINITY { None } else { Some(e as u64) })
-                .collect()
-        }
+        Objective::Max => metrics::eccentricities(g)
+            .into_iter()
+            .map(|e| if e == ncg_graph::INFINITY { None } else { Some(e as u64) })
+            .collect(),
         Objective::Sum => metrics::statuses(g),
     };
     usages
@@ -36,9 +34,7 @@ pub fn player_costs(state: &GameState, spec: &GameSpec) -> Vec<Option<f64>> {
 
 /// Social cost `Σ_u C_u(σ)`; `None` if the graph is disconnected.
 pub fn social_cost(state: &GameState, spec: &GameSpec) -> Option<f64> {
-    player_costs(state, spec)
-        .into_iter()
-        .try_fold(0.0, |acc, c| c.map(|c| acc + c))
+    player_costs(state, spec).into_iter().try_fold(0.0, |acc, c| c.map(|c| acc + c))
 }
 
 /// One player's true (full-knowledge) cost `α·|σ_u| + usage_u`;
@@ -167,19 +163,10 @@ mod tests {
     fn optimum_switches_from_clique_to_star() {
         // SumNCG: clique optimal below α = 2, star above.
         let n = 10;
-        assert_eq!(
-            optimum_cost(n, &GameSpec::sum(1.0, 2)),
-            clique_cost(n, &GameSpec::sum(1.0, 2))
-        );
-        assert_eq!(
-            optimum_cost(n, &GameSpec::sum(5.0, 2)),
-            star_cost(n, &GameSpec::sum(5.0, 2))
-        );
+        assert_eq!(optimum_cost(n, &GameSpec::sum(1.0, 2)), clique_cost(n, &GameSpec::sum(1.0, 2)));
+        assert_eq!(optimum_cost(n, &GameSpec::sum(5.0, 2)), star_cost(n, &GameSpec::sum(5.0, 2)));
         // MaxNCG with α > 2/(n−2)-ish: star wins.
-        assert_eq!(
-            optimum_cost(n, &GameSpec::max(1.0, 2)),
-            star_cost(n, &GameSpec::max(1.0, 2))
-        );
+        assert_eq!(optimum_cost(n, &GameSpec::max(1.0, 2)), star_cost(n, &GameSpec::max(1.0, 2)));
     }
 
     #[test]

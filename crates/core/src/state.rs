@@ -97,8 +97,8 @@ impl GameState {
     pub fn cycle_successor(n: usize) -> Self {
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         if n >= 3 {
-            for u in 0..n {
-                strategies[u].push(((u + 1) % n) as NodeId);
+            for (u, sigma) in strategies.iter_mut().enumerate() {
+                sigma.push(((u + 1) % n) as NodeId);
             }
         } else if n == 2 {
             strategies[0].push(1);
@@ -149,12 +149,7 @@ impl GameState {
     /// The players that bought an edge *towards* `u` (her in-neighbours
     /// in the ownership digraph). These edges survive any move by `u`.
     pub fn incoming(&self, u: NodeId) -> Vec<NodeId> {
-        self.graph
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&v| self.owns(v, u))
-            .collect()
+        self.graph.neighbors(u).iter().copied().filter(|&v| self.owns(v, u)).collect()
     }
 
     /// Maximum `|σ_u|` over all players (the paper's "max bought

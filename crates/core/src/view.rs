@@ -48,14 +48,12 @@ impl PlayerView {
     /// Panics if `u` is out of range.
     pub fn build(state: &GameState, u: NodeId, k: u32) -> Self {
         let sub = view_subgraph(state.graph(), u, k);
-        let center =
-            sub.to_local(u).expect("center is always inside her own ball");
+        let center = sub.to_local(u).expect("center is always inside her own ball");
         let to_local = |globals: &[NodeId]| -> Vec<NodeId> {
             let mut locals: Vec<NodeId> = globals
                 .iter()
                 .map(|&g| {
-                    sub.to_local(g)
-                        .expect("distance-1 neighbours are always inside the ball")
+                    sub.to_local(g).expect("distance-1 neighbours are always inside the ball")
                 })
                 .collect();
             locals.sort_unstable();
@@ -101,9 +99,7 @@ impl PlayerView {
     /// vertices whose distance a SumNCG player must never increase
     /// beyond `k` (Proposition 2.2).
     pub fn frontier(&self) -> Vec<NodeId> {
-        (0..self.len() as NodeId)
-            .filter(|&v| self.dist[v as usize] == self.k)
-            .collect()
+        (0..self.len() as NodeId).filter(|&v| self.dist[v as usize] == self.k).collect()
     }
 
     /// All legal purchase targets: every visible node except the
@@ -140,13 +136,14 @@ mod tests {
     fn path_state(n: usize) -> GameState {
         // Path 0-1-…-(n-1); player i buys the edge to i+1.
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n - 1 {
-            strategies[i].push((i + 1) as NodeId);
+        for (i, sigma) in strategies.iter_mut().enumerate().take(n - 1) {
+            sigma.push((i + 1) as NodeId);
         }
         GameState::from_strategies(n, strategies)
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // 0 + 1 + 1 + 2 + 2 spells out the per-node distances
     fn view_of_path_center() {
         let s = path_state(9);
         let v = PlayerView::build(&s, 4, 2);

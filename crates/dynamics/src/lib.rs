@@ -9,8 +9,10 @@
 //! > better than the current one we update the network. […] We
 //! > continue until we attain an equilibrium […] we check if the last
 //! > strategy profile of the current round already appeared as the
-//! > last strategy profile of any previous round"* — in which case the
-//! dynamics cycles and no equilibrium will ever be reached.
+//! > last strategy profile of any previous round"*
+//!
+//! — in which case the dynamics cycles and no equilibrium will ever
+//! be reached.
 //!
 //! * [`run`] — one dynamics from a given initial
 //!   [`GameState`](ncg_core::GameState); deterministic (round-robin

@@ -135,8 +135,7 @@ mod tests {
     fn serde_round_trip() {
         let state = GameState::cycle_successor(6);
         let m = StateMetrics::measure(&state, &GameSpec::sum(1.0, 2));
-        let back: StateMetrics =
-            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        let back: StateMetrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
     }
 }

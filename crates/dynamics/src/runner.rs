@@ -130,8 +130,9 @@ pub fn run_with<B: BestResponder>(
     let mut total_moves = 0usize;
     let mut round_metrics = Vec::new();
     let mut trace = if config.record_trace { Some(crate::Trace::new()) } else { None };
-    let profile_of =
-        |state: &GameState| -> Vec<Vec<u32>> { (0..n as u32).map(|u| state.strategy(u).to_vec()).collect() };
+    let profile_of = |state: &GameState| -> Vec<Vec<u32>> {
+        (0..n as u32).map(|u| state.strategy(u).to_vec()).collect()
+    };
     seen.insert(profile_of(&state), 0);
     let mut outcome = Outcome::MaxRoundsExceeded;
     for round in 1..=config.max_rounds {
@@ -194,7 +195,8 @@ mod tests {
     #[test]
     fn stable_cycle_converges_immediately() {
         // Lemma 3.1 equilibrium: one quiet round, zero moves.
-        let result = run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(3.0, 2)));
+        let result =
+            run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(3.0, 2)));
         assert_eq!(result.outcome, Outcome::Converged { rounds: 1 });
         assert_eq!(result.total_moves, 0);
     }
@@ -271,11 +273,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let tree = ncg_graph::generators::random_tree(12, &mut rng);
         let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
-        let config = DynamicsConfig::new(GameSpec {
-            alpha: 1.5,
-            k: 2,
-            objective: Objective::Sum,
-        });
+        let config = DynamicsConfig::new(GameSpec { alpha: 1.5, k: 2, objective: Objective::Sum });
         let result = run(initial, &config);
         assert!(result.outcome.converged(), "SumNCG dynamics should settle on a small tree");
     }
@@ -317,7 +315,8 @@ mod tests {
         }
         assert_eq!(replay, result.state);
         // Traces are off by default.
-        let untraced = run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(0.5, 6)));
+        let untraced =
+            run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(0.5, 6)));
         assert!(untraced.trace.is_none());
     }
 

@@ -88,10 +88,8 @@ fn round_cap_reports_max_rounds_for_nonrepeating_dynamics() {
                 };
             }
             let mut strategy = view.purchases.clone();
-            if let Some(next) = view
-                .candidates()
-                .into_iter()
-                .find(|c| strategy.binary_search(c).is_err())
+            if let Some(next) =
+                view.candidates().into_iter().find(|c| strategy.binary_search(c).is_err())
             {
                 let pos = strategy.binary_search(&next).unwrap_err();
                 strategy.insert(pos, next);
@@ -100,12 +98,9 @@ fn round_cap_reports_max_rounds_for_nonrepeating_dynamics() {
         }
     }
     // A star around player 0 so every node is visible: 6 players.
-    let state = GameState::from_strategies(
-        6,
-        vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![0]],
-    );
-    let config =
-        DynamicsConfig { max_rounds: 3, ..DynamicsConfig::new(GameSpec::max(1.0, 10)) };
+    let state =
+        GameState::from_strategies(6, vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![0]]);
+    let config = DynamicsConfig { max_rounds: 3, ..DynamicsConfig::new(GameSpec::max(1.0, 10)) };
     let result = run_with(state, &config, &mut Grower);
     assert_eq!(result.outcome, Outcome::MaxRoundsExceeded);
     assert_eq!(result.total_moves, 3, "one accepted move per round");

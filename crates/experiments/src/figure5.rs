@@ -29,7 +29,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
     let cell_summary = |ri: usize, ci: usize, f: &dyn Fn(&crate::sweep::CellResult) -> f64| {
         let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(&cells.iter().map(|c| f(c)).collect::<Vec<f64>>())
+        Summary::of(&cells.iter().map(f).collect::<Vec<f64>>())
     };
     let avg = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
         cell_summary(ri, ci, &|c| c.result.final_metrics.avg_view).display(1)
@@ -69,10 +69,7 @@ mod tests {
         assert!((mean_view(1, 1) - n as f64).abs() < 1e-9);
         // k = 2: cheap edges (α = 0.1) give denser equilibria, hence
         // larger views than expensive edges (α = 5).
-        assert!(
-            mean_view(0, 0) >= mean_view(1, 0),
-            "cheap-α views should be at least as large"
-        );
+        assert!(mean_view(0, 0) >= mean_view(1, 0), "cheap-α views should be at least as large");
     }
 
     #[test]

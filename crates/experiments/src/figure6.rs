@@ -46,9 +46,8 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
                     .collect(),
             );
         }
-        let table = grid_table("n", &row_labels, &col_labels, |ri, ci| {
-            qualities[ri][ci].display(2)
-        });
+        let table =
+            grid_table("n", &row_labels, &col_labels, |ri, ci| qualities[ri][ci].display(2));
         out.push_table(format!("quality_alpha{alpha}"), table);
     }
     out

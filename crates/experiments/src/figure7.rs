@@ -54,8 +54,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     // Theory trend, normalised to the first k of the largest n series.
     let anchor = tree_cols.last().map(|col| col[0].mean).unwrap_or(1.0);
     let trend0 = ncg_bounds::fig7_trend(ks[0]).max(f64::MIN_POSITIVE);
-    let mut col_labels: Vec<String> =
-        profile.tree_ns.iter().map(|n| format!("n={n}")).collect();
+    let mut col_labels: Vec<String> = profile.tree_ns.iter().map(|n| format!("n={n}")).collect();
     col_labels.push("trend f(k)".into());
     let trees = grid_table("k", &row_labels, &col_labels, |ri, ci| {
         if ci < tree_cols.len() {
@@ -71,21 +70,13 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     let states = workloads::er_states(er_n, er_p, profile.reps, profile.base_seed);
     let results = sweep(&states, &[ALPHA], &ks, Objective::Max, None);
     let grouped = by_cell(&results, &[ALPHA], &ks, profile.reps);
-    let er = grid_table(
-        "k",
-        &row_labels,
-        &[format!("n={er_n}, p={er_p}")],
-        |ri, _| {
-            let (_, cells) = grouped[ri];
-            Summary::of(
-                &cells
-                    .iter()
-                    .filter_map(|c| c.result.final_metrics.quality)
-                    .collect::<Vec<f64>>(),
-            )
-            .display(2)
-        },
-    );
+    let er = grid_table("k", &row_labels, &[format!("n={er_n}, p={er_p}")], |ri, _| {
+        let (_, cells) = grouped[ri];
+        Summary::of(
+            &cells.iter().filter_map(|c| c.result.final_metrics.quality).collect::<Vec<f64>>(),
+        )
+        .display(2)
+    });
     out.push_table("er", er);
     out
 }
@@ -113,8 +104,7 @@ mod tests {
         let grouped = by_cell(&results, &[ALPHA], &[2, 1000], profile.reps);
         let mean_q = |i: usize| {
             let (_, cells) = grouped[i];
-            let v: Vec<f64> =
-                cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+            let v: Vec<f64> = cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         assert!(

@@ -28,7 +28,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
     let summarise = |ri: usize, ci: usize, f: &dyn Fn(&CellResult) -> f64| {
         let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(&cells.iter().map(|c| f(c)).collect::<Vec<f64>>()).display(1)
+        Summary::of(&cells.iter().map(f).collect::<Vec<f64>>()).display(1)
     };
     let deg = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
         summarise(ri, ci, &|c| c.result.final_metrics.max_degree as f64)

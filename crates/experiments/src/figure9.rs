@@ -28,10 +28,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     let table = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
         let (_, cells) = grouped[ri * profile.ks.len() + ci];
         Summary::of(
-            &cells
-                .iter()
-                .filter_map(|c| c.result.final_metrics.unfairness)
-                .collect::<Vec<f64>>(),
+            &cells.iter().filter_map(|c| c.result.final_metrics.unfairness).collect::<Vec<f64>>(),
         )
         .display(2)
     });

@@ -14,7 +14,14 @@ use ncg_stats::Table;
 
 use crate::{ExperimentOutput, Profile};
 
-fn describe(name: &str, deltas: &[u32], ell: u32, k: u32, table: &mut Table, out: &mut ExperimentOutput) {
+fn describe(
+    name: &str,
+    deltas: &[u32],
+    ell: u32,
+    k: u32,
+    table: &mut Table,
+    out: &mut ExperimentOutput,
+) {
     let t = TorusGrid::closed(deltas, ell).expect("paper parameters are valid");
     let g = t.state().graph();
     let diam = metrics::diameter(g).expect("torus is connected");
@@ -36,7 +43,8 @@ fn describe(name: &str, deltas: &[u32], ell: u32, k: u32, table: &mut Table, out
         .filter(|&id| t.is_intersection(id))
         .map(|id| (id, format!("{:?}", t.coords[id as usize])))
         .collect();
-    let dot = to_dot(g, &DotOptions { name: name.replace(['-', ' '], "_"), labels, highlight: view });
+    let dot =
+        to_dot(g, &DotOptions { name: name.replace(['-', ' '], "_"), labels, highlight: view });
     out.push_artifact(format!("{name}.dot"), dot);
 }
 

@@ -68,7 +68,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     let sum_spec = GameSpec::sum((2 * hg_n) as f64, 2);
     table.push_row([
         "high girth (Thm 4.3)".to_string(),
-        format!("q=3, girth≥6, α=kn"),
+        "q=3, girth≥6, α=kn".to_string(),
         hg_n.to_string(),
         format!("Sum α={} k=2", 2 * hg_n),
         gadget.certify(&sum_spec).to_string(),
@@ -94,8 +94,11 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     }
 
     // Theorem 4.2 — SumNCG torus.
-    let sum_torus: &[(u32, u32, f64)] =
-        if big { &[(2, 4, 40.0), (2, 8, 40.0), (3, 6, 110.0)] } else { &[(2, 3, 40.0), (2, 5, 40.0)] };
+    let sum_torus: &[(u32, u32, f64)] = if big {
+        &[(2, 4, 40.0), (2, 8, 40.0), (3, 6, 110.0)]
+    } else {
+        &[(2, 3, 40.0), (2, 5, 40.0)]
+    };
     for &(k, d2, alpha) in sum_torus {
         let t = TorusGrid::for_theorem_42(k, d2).expect("valid parameters");
         let spec = GameSpec::sum(alpha, k);

@@ -24,8 +24,19 @@ use ncg_experiments::{
 };
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "figures12", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "figure8", "figure9", "figure10", "lower-bounds", "sum-extension",
+    "table1",
+    "table2",
+    "figures12",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "lower-bounds",
+    "sum-extension",
 ];
 
 fn run_one(name: &str, profile: &Profile) -> Option<ExperimentOutput> {
@@ -128,10 +139,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        eprintln!(
-            "[ncg-experiments] {name} finished in {:.1}s",
-            started.elapsed().as_secs_f64()
-        );
+        eprintln!("[ncg-experiments] {name} finished in {:.1}s", started.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
 }

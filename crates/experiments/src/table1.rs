@@ -23,8 +23,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
             .iter()
             .map(|s| metrics::diameter(s.graph()).expect("trees are connected") as f64)
             .collect();
-        let max_degrees: Vec<f64> =
-            states.iter().map(|s| s.graph().max_degree() as f64).collect();
+        let max_degrees: Vec<f64> = states.iter().map(|s| s.graph().max_degree() as f64).collect();
         let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
         table.push_row([
             n.to_string(),
@@ -53,17 +52,11 @@ mod tests {
     fn diameters_grow_with_n_as_in_the_paper() {
         // Table I trend: expected diameter of a uniform random tree
         // grows like √n — bigger trees must have bigger mean diameter.
-        let profile = Profile {
-            reps: 10,
-            tree_ns: vec![20, 200],
-            ..Profile::smoke()
-        };
+        let profile = Profile { reps: 10, tree_ns: vec![20, 200], ..Profile::smoke() };
         let d = |n: usize| {
             let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-            let v: Vec<f64> = states
-                .iter()
-                .map(|s| metrics::diameter(s.graph()).unwrap() as f64)
-                .collect();
+            let v: Vec<f64> =
+                states.iter().map(|s| metrics::diameter(s.graph()).unwrap() as f64).collect();
             Summary::of(&v).mean
         };
         assert!(d(200) > 1.8 * d(20), "diameter must grow markedly with n");

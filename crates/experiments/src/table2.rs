@@ -16,8 +16,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
         "Table II — Erdős–Rényi statistics; profile: {} ({} samples per row)",
         profile.name, profile.reps
     );
-    let mut table =
-        Table::new(["n", "p", "Edges", "Diameter", "Max. degree", "Max. bought edges"]);
+    let mut table = Table::new(["n", "p", "Edges", "Diameter", "Max. degree", "Max. bought edges"]);
     for &(n, p) in &profile.er_configs {
         let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
         let edges: Vec<f64> = states.iter().map(|s| s.graph().edge_count() as f64).collect();
@@ -25,8 +24,7 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
             .iter()
             .map(|s| metrics::diameter(s.graph()).expect("samples are connected") as f64)
             .collect();
-        let max_degrees: Vec<f64> =
-            states.iter().map(|s| s.graph().max_degree() as f64).collect();
+        let max_degrees: Vec<f64> = states.iter().map(|s| s.graph().max_degree() as f64).collect();
         let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
         table.push_row([
             n.to_string(),
@@ -54,11 +52,7 @@ mod tests {
     #[test]
     fn edge_counts_track_expectation() {
         // The paper's Table II: edges ≈ p·n(n−1)/2.
-        let profile = Profile {
-            reps: 8,
-            er_configs: vec![(60, 0.1)],
-            ..Profile::smoke()
-        };
+        let profile = Profile { reps: 8, er_configs: vec![(60, 0.1)], ..Profile::smoke() };
         let states = workloads::er_states(60, 0.1, profile.reps, profile.base_seed);
         let mean =
             states.iter().map(|s| s.graph().edge_count() as f64).sum::<f64>() / profile.reps as f64;

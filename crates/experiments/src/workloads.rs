@@ -23,7 +23,9 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Derives the seed for one workload instance.
 pub fn instance_seed(base: u64, class_tag: u64, n: usize, rep: usize) -> u64 {
-    splitmix64(base ^ splitmix64(class_tag) ^ splitmix64(n as u64) ^ splitmix64(rep as u64 | 1 << 32))
+    splitmix64(
+        base ^ splitmix64(class_tag) ^ splitmix64(n as u64) ^ splitmix64(rep as u64 | 1 << 32),
+    )
 }
 
 /// `reps` uniform random trees on `n` nodes with coin-toss edge
@@ -31,7 +33,7 @@ pub fn instance_seed(base: u64, class_tag: u64, n: usize, rep: usize) -> u64 {
 pub fn tree_states(n: usize, reps: usize, base_seed: u64) -> Vec<GameState> {
     (0..reps)
         .map(|rep| {
-            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(base_seed, 0x7265_65, n, rep));
+            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(base_seed, 0x0072_6565, n, rep));
             let tree = generators::random_tree(n, &mut rng);
             GameState::from_graph_random_ownership(&tree, &mut rng)
         })
@@ -44,12 +46,8 @@ pub fn tree_states(n: usize, reps: usize, base_seed: u64) -> Vec<GameState> {
 pub fn er_states(n: usize, p: f64, reps: usize, base_seed: u64) -> Vec<GameState> {
     (0..reps)
         .map(|rep| {
-            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(
-                base_seed,
-                0x6572 ^ p.to_bits(),
-                n,
-                rep,
-            ));
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(instance_seed(base_seed, 0x6572 ^ p.to_bits(), n, rep));
             let g = generators::gnp_connected(n, p, 10_000, &mut rng)
                 .expect("G(n,p) parameters must be above the connectivity threshold");
             GameState::from_graph_random_ownership(&g, &mut rng)

@@ -1,0 +1,75 @@
+//! End-to-end smoke test for the `ncg-experiments` CLI: run one real
+//! dynamics figure (Figure 5, quick profile trimmed to one repetition)
+//! with a fixed seed into a temp `--out` directory, then assert that
+//! the artifacts exist and parse as well-formed CSV.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_out_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("ncg_cli_smoke_{}", std::process::id()))
+}
+
+/// Checks a table CSV: at least a header plus one data row, every row
+/// with the same column count, and at least one parsable number in
+/// each data row.
+fn assert_parses_as_csv(path: &Path) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let rows: Vec<Vec<&str>> = text.lines().map(|line| line.split(',').collect()).collect();
+    assert!(rows.len() >= 2, "{}: expected header + data rows", path.display());
+    let columns = rows[0].len();
+    assert!(columns >= 2, "{}: expected at least two columns", path.display());
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), columns, "{}: ragged row {i}", path.display());
+    }
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        let numeric = row.iter().any(|cell| {
+            cell.split_whitespace().next().is_some_and(|tok| tok.parse::<f64>().is_ok())
+        });
+        assert!(numeric, "{}: no numeric cell in data row {i}: {row:?}", path.display());
+    }
+}
+
+#[test]
+fn figure5_quick_profile_writes_parsable_artifacts() {
+    let out_dir = temp_out_dir();
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"))
+        .args(["figure5", "--reps", "1", "--seed", "12345", "--out"])
+        .arg(&out_dir)
+        .output()
+        .expect("spawning the ncg-experiments binary");
+    assert!(
+        output.status.success(),
+        "CLI exited with {:?}; stderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The two Figure 5 panels plus the notes file.
+    let avg = out_dir.join("figure5_avg_view_size.csv");
+    let min = out_dir.join("figure5_min_view_size.csv");
+    let notes = out_dir.join("figure5_notes.txt");
+    for path in [&avg, &min, &notes] {
+        assert!(path.is_file(), "missing artifact {}", path.display());
+    }
+    assert_parses_as_csv(&avg);
+    assert_parses_as_csv(&min);
+    let notes_text = std::fs::read_to_string(&notes).expect("notes readable");
+    assert!(!notes_text.trim().is_empty(), "notes file is empty");
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn rejects_unknown_experiment_with_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"))
+        .arg("no-such-figure")
+        .output()
+        .expect("spawning the ncg-experiments binary");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "expected usage text, got:\n{stderr}");
+}

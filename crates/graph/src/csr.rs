@@ -10,9 +10,9 @@
 //! `ncg-bench/benches/substrates.rs` quantify the BFS win.
 
 use crate::bfs::DistanceBuffer;
-use crate::{Graph, NodeId};
 #[cfg(test)]
 use crate::INFINITY;
+use crate::{Graph, NodeId};
 
 /// An immutable graph in CSR layout: neighbours of `u` are
 /// `targets[offsets[u] .. offsets[u+1]]`, sorted ascending.

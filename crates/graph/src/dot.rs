@@ -66,11 +66,8 @@ mod tests {
     #[test]
     fn dot_renders_labels_and_highlights() {
         let g = generators::path(3);
-        let opts = DotOptions {
-            name: "p3".into(),
-            labels: vec![(1, "(0,0)".into())],
-            highlight: vec![2],
-        };
+        let opts =
+            DotOptions { name: "p3".into(), labels: vec![(1, "(0,0)".into())], highlight: vec![2] };
         let dot = to_dot(&g, &opts);
         assert!(dot.contains("graph p3 {"));
         assert!(dot.contains("1 [label=\"(0,0)\"];"));

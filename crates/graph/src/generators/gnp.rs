@@ -109,10 +109,9 @@ mod tests {
         let n = 200;
         let p = 0.1;
         let trials = 30;
-        let mean: f64 = (0..trials)
-            .map(|_| gnp(n, p, &mut rng).unwrap().edge_count() as f64)
-            .sum::<f64>()
-            / trials as f64;
+        let mean: f64 =
+            (0..trials).map(|_| gnp(n, p, &mut rng).unwrap().edge_count() as f64).sum::<f64>()
+                / trials as f64;
         let expected = p * (n * (n - 1) / 2) as f64;
         assert!(
             (mean - expected).abs() < 0.05 * expected,

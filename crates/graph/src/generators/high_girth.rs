@@ -70,11 +70,7 @@ pub fn high_girth<R: Rng + ?Sized>(
     while misses < patience {
         let u = rng.random_range(0..n as NodeId);
         let v = rng.random_range(0..n as NodeId);
-        if u == v
-            || g.degree(u) >= q as usize
-            || g.degree(v) >= q as usize
-            || g.has_edge(u, v)
-        {
+        if u == v || g.degree(u) >= q as usize || g.degree(v) >= q as usize || g.has_edge(u, v) {
             misses += 1;
             continue;
         }

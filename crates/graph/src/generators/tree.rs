@@ -69,8 +69,7 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
             g
         }
         _ => {
-            let seq: Vec<NodeId> =
-                (0..n - 2).map(|_| rng.random_range(0..n as NodeId)).collect();
+            let seq: Vec<NodeId> = (0..n - 2).map(|_| rng.random_range(0..n as NodeId)).collect();
             tree_from_pruefer(&seq)
         }
     }
@@ -163,8 +162,7 @@ mod tests {
         let expected = samples / 16;
         for (tree, count) in counts {
             assert!(
-                (count as f64) > 0.7 * expected as f64
-                    && (count as f64) < 1.3 * expected as f64,
+                (count as f64) > 0.7 * expected as f64 && (count as f64) < 1.3 * expected as f64,
                 "tree {tree:?} has count {count}, expected ≈ {expected}"
             );
         }

@@ -258,10 +258,7 @@ mod tests {
         let mut g = Graph::new(3);
         assert!(!g.add_edge(1, 1));
         assert_eq!(g.edge_count(), 0);
-        assert_eq!(
-            Graph::from_edges(3, [(1, 1)]),
-            Err(GraphError::SelfLoop(1))
-        );
+        assert_eq!(Graph::from_edges(3, [(1, 1)]), Err(GraphError::SelfLoop(1)));
     }
 
     #[test]

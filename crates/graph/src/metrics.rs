@@ -267,12 +267,13 @@ mod tests {
     #[test]
     fn girth_even_cycle_via_two_squares_sharing_edge() {
         // Two 4-cycles sharing an edge: girth 4.
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (5, 2)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (5, 2)]).unwrap();
         assert_eq!(girth(&g), Some(4));
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (u, v) indices express the symmetry check
     fn distance_matrix_is_symmetric_and_matches_bfs() {
         let g = generators::grid(3, 4);
         let m = distance_matrix(&g);

@@ -116,11 +116,7 @@ pub fn power(g: &Graph, h: u32) -> Graph {
 pub fn ball_distances(g: &Graph, center: NodeId, k: u32) -> Vec<(NodeId, u32)> {
     let mut buf = DistanceBuffer::with_capacity(g.node_count());
     bfs_bounded(g, center, k, &mut buf);
-    let mut out: Vec<(NodeId, u32)> = buf
-        .visited()
-        .iter()
-        .map(|&v| (v, buf.dist(v)))
-        .collect();
+    let mut out: Vec<(NodeId, u32)> = buf.visited().iter().map(|&v| (v, buf.dist(v))).collect();
     out.sort_unstable_by_key(|&(v, _)| v);
     debug_assert!(out.iter().all(|&(_, d)| d != INFINITY));
     out

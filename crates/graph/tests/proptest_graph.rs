@@ -11,6 +11,7 @@ use proptest::prelude::*;
 
 /// Reference all-pairs shortest paths: Floyd–Warshall on a dense
 /// matrix. O(n³) — fine for the sizes proptest generates.
+#[allow(clippy::needless_range_loop)] // index triples mirror the textbook recurrence
 fn floyd_warshall(g: &Graph) -> Vec<Vec<u64>> {
     let n = g.node_count();
     const INF: u64 = u64::MAX / 4;
@@ -39,8 +40,8 @@ fn floyd_warshall(g: &Graph) -> Vec<Vec<u64>> {
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..=max_n).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges.min(60))
-            .prop_map(move |pairs| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges.min(60)).prop_map(
+            move |pairs| {
                 let mut g = Graph::new(n);
                 for (u, v) in pairs {
                     if u != v {
@@ -48,12 +49,18 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
                     }
                 }
                 g
-            })
+            },
+        )
     })
 }
 
 proptest! {
+    // Capped so a full `cargo test -q` stays fast and deterministic;
+    // override with PROPTEST_CASES (and PROPTEST_SEED) for deeper runs.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     #[test]
+    #[allow(clippy::needless_range_loop)] // (u, v) indices are compared across two matrices
     fn bfs_matches_floyd_warshall(g in arb_graph(24)) {
         let reference = floyd_warshall(&g);
         let mut buf = DistanceBuffer::new();
@@ -160,6 +167,7 @@ proptest! {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (u, v) indices are compared across two matrices
     fn power_edge_iff_distance_at_most_h(g in arb_graph(14), h in 0u32..5) {
         let p = view::power(&g, h);
         let reference = floyd_warshall(&g);

@@ -122,11 +122,7 @@ impl BitSet {
     #[inline]
     pub fn missing_from(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (b & !a).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (b & !a).count_ones() as usize).sum()
     }
 
     /// First element of `other ∖ self`, if any.
@@ -145,11 +141,7 @@ impl BitSet {
     #[inline]
     pub fn intersection_len(&self, other: &BitSet) -> usize {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Iterates the elements in increasing order.

@@ -132,11 +132,7 @@ impl DominationInstance {
         let covered = self.initial_covered();
         // Greedy upper bound seeds `best`.
         let mut best: Option<Solution> = self.solve_greedy();
-        let mut best_len = best
-            .as_ref()
-            .map(|b| b.len())
-            .unwrap_or(usize::MAX)
-            .min(cutoff);
+        let mut best_len = best.as_ref().map(|b| b.len()).unwrap_or(usize::MAX).min(cutoff);
         if best.as_ref().is_some_and(|b| b.len() >= cutoff) {
             best = None;
         }
@@ -387,8 +383,7 @@ mod tests {
     fn infeasible_instance_returns_none() {
         // Universe includes a vertex nobody covers.
         let covers = vec![BitSet::from_elems(3, [0]), BitSet::from_elems(3, [1]), BitSet::new(3)];
-        let inst =
-            DominationInstance { covers, universe: BitSet::full(3), forced: vec![] };
+        let inst = DominationInstance { covers, universe: BitSet::full(3), forced: vec![] };
         assert!(!inst.is_feasible());
         assert_eq!(inst.solve_exact(usize::MAX), None);
         assert_eq!(inst.solve_greedy(), None);

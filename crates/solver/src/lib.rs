@@ -93,10 +93,7 @@ pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
 
 /// First improving player found by the exact responder, with her
 /// deviation translated to global node ids.
-pub fn improving_player(
-    state: &GameState,
-    spec: &GameSpec,
-) -> Option<(NodeId, Vec<NodeId>, f64)> {
+pub fn improving_player(state: &GameState, spec: &GameSpec) -> Option<(NodeId, Vec<NodeId>, f64)> {
     let mut responder = Responder::exact();
     for u in 0..state.n() as NodeId {
         let view = PlayerView::build(state, u, spec.k);

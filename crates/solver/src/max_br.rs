@@ -34,10 +34,8 @@ use crate::Mode;
 /// current strategy.
 pub fn max_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Deviation {
     let n_local = view.len();
-    let mut best = Deviation {
-        strategy_local: view.purchases.clone(),
-        total_cost: current_total(spec, view),
-    };
+    let mut best =
+        Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
     if n_local <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
@@ -88,9 +86,7 @@ pub fn max_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Devi
         };
         let solution = match mode {
             Mode::Exact => inst.solve_exact(cutoff),
-            Mode::Greedy => inst
-                .solve_greedy()
-                .filter(|s| s.len() < cutoff),
+            Mode::Greedy => inst.solve_greedy().filter(|s| s.len() < cutoff),
         };
         let Some(extra) = solution else { continue };
         let strategy: Vec<NodeId> = extra; // already sorted, forced excluded
@@ -234,8 +230,8 @@ mod tests {
         // Path 0-..-8; player 0 owns (0,1), k big. With α tiny she
         // should buy shortcuts and drop her eccentricity.
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); 9];
-        for i in 0..8 {
-            strategies[i].push((i + 1) as NodeId);
+        for (i, sigma) in strategies.iter_mut().enumerate().take(8) {
+            sigma.push((i + 1) as NodeId);
         }
         let state = GameState::from_strategies(9, strategies);
         let spec = GameSpec::max(0.1, 100);

@@ -62,14 +62,12 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView) -> Deviation {
         let mut consider = |strategy: Vec<NodeId>, scratch: &mut EvalScratch| {
             let cost = evaluate_total(spec, view, &strategy, scratch);
             if GameSpec::strictly_better(cost, current_cost)
-                && best_neighbor
-                    .as_ref()
-                    .is_none_or(|(bs, bc)| {
-                        GameSpec::strictly_better(cost, *bc)
-                            || ((cost - bc).abs() <= ncg_core::EPS
-                                && (strategy.len() < bs.len()
-                                    || (strategy.len() == bs.len() && strategy < *bs)))
-                    })
+                && best_neighbor.as_ref().is_none_or(|(bs, bc)| {
+                    GameSpec::strictly_better(cost, *bc)
+                        || ((cost - bc).abs() <= ncg_core::EPS
+                            && (strategy.len() < bs.len()
+                                || (strategy.len() == bs.len() && strategy < *bs)))
+                })
             {
                 best_neighbor = Some((strategy, cost));
             }
@@ -143,8 +141,8 @@ mod tests {
         // path long enough that the view exceeds nothing (full view)
         // and force the heuristic path by using Greedy mode.
         let mut strategies: Vec<Vec<NodeId>> = vec![Vec::new(); 12];
-        for i in 0..11 {
-            strategies[i].push((i + 1) as NodeId);
+        for (i, sigma) in strategies.iter_mut().enumerate().take(11) {
+            sigma.push((i + 1) as NodeId);
         }
         let state = GameState::from_strategies(12, strategies);
         let spec = GameSpec::sum(0.5, 100);

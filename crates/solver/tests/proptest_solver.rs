@@ -15,6 +15,10 @@ fn arb_elems(cap: usize) -> impl Strategy<Value = Vec<u32>> {
 }
 
 proptest! {
+    // Capped so a full `cargo test -q` stays fast and deterministic;
+    // override with PROPTEST_CASES (and PROPTEST_SEED) for deeper runs.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// BitSet behaves like a BTreeSet.
     #[test]
     fn bitset_matches_btreeset(elems in arb_elems(150), removals in arb_elems(150)) {

@@ -68,17 +68,11 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |row: &[String], widths: &[usize]| -> String {
-            row.iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect::<Vec<_>>()
-                .join(" | ")
+            row.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join(" | ")
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(
-            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"),
-        );
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));

@@ -29,8 +29,7 @@ fn main() {
     let grouped = sweep::by_cell(&results, &alphas, &ks, reps);
     for (i, ((alpha, k), cells)) in grouped.iter().enumerate() {
         let _ = i;
-        let vals: Vec<f64> =
-            cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+        let vals: Vec<f64> = cells.iter().filter_map(|c| c.result.final_metrics.quality).collect();
         let measured = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         let b = maxncg::bounds(n, *alpha, *k);
         println!(

@@ -16,8 +16,7 @@ fn main() {
     // Part 1 — the dyscrasia of Section 2: a move that MaxNCG permits
     // can be forbidden for a SumNCG player, because pushing a frontier
     // vertex beyond distance k risks unbounded invisible cost.
-    let path: Vec<Vec<u32>> =
-        (0..6).map(|i| if i < 5 { vec![i + 1] } else { vec![] }).collect();
+    let path: Vec<Vec<u32>> = (0..6).map(|i| if i < 5 { vec![i + 1] } else { vec![] }).collect();
     let state = GameState::from_strategies(6, path);
     let u = 0u32;
     let k = 2;

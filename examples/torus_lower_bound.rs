@@ -20,8 +20,8 @@ fn main() {
         "δ_d", "n", "diameter", "theory ≥", "SC/OPT", "LKE?"
     );
     for delta_last in [3u32, 5, 8, 12] {
-        let torus = TorusGrid::for_theorem_312(alpha, k, delta_last)
-            .expect("parameters satisfy 1 < α ≤ k");
+        let torus =
+            TorusGrid::for_theorem_312(alpha, k, delta_last).expect("parameters satisfy 1 < α ≤ k");
         let diam = metrics::diameter(torus.state().graph()).expect("torus is connected");
         let certified = torus.certify(&spec);
         println!(

@@ -51,6 +51,9 @@ fn main() {
     println!("\nequilibrium ownership digraph (u -> v means u bought the edge):\n");
     println!(
         "{}",
-        to_ownership_dot(&result.state, &OwnershipDotOptions { name: "equilibrium".into(), highlight: vec![] })
+        to_ownership_dot(
+            &result.state,
+            &OwnershipDotOptions { name: "equilibrium".into(), highlight: vec![] }
+        )
     );
 }

@@ -47,10 +47,9 @@ fn social_cost_identity() {
         let spec = GameSpec { alpha: 1.5, k: 3, objective };
         let sc = social::social_cost(state, &spec).unwrap();
         let usage_sum: f64 = match objective {
-            Objective::Max => metrics::eccentricities(state.graph())
-                .iter()
-                .map(|&e| e as f64)
-                .sum(),
+            Objective::Max => {
+                metrics::eccentricities(state.graph()).iter().map(|&e| e as f64).sum()
+            }
             Objective::Sum => (0..state.n() as u32)
                 .map(|u| metrics::status(state.graph(), u).unwrap() as f64)
                 .sum(),
@@ -75,10 +74,7 @@ fn lemma_3_17_girth_of_equilibria() {
         }
         if let Some(girth) = metrics::girth(result.state.graph()) {
             let bound = 2.0 + alpha.min(2.0 * k as f64);
-            assert!(
-                (girth as f64) >= bound - 1e-9,
-                "girth {girth} < {bound} at α={alpha}, k={k}"
-            );
+            assert!((girth as f64) >= bound - 1e-9, "girth {girth} < {bound} at α={alpha}, k={k}");
         }
     }
 }

@@ -23,8 +23,8 @@ fn domination_number(g: &Graph) -> usize {
             continue;
         }
         for v in 0..n as NodeId {
-            let dominated = mask & (1 << v) != 0
-                || g.neighbors(v).iter().any(|&u| mask & (1 << u) != 0);
+            let dominated =
+                mask & (1 << v) != 0 || g.neighbors(v).iter().any(|&u| mask & (1 << u) != 0);
             if !dominated {
                 continue 'mask;
             }

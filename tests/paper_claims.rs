@@ -107,8 +107,7 @@ fn claim_quality_gap_small_k_vs_full_knowledge() {
     let quality = |n: usize, k: u32| {
         let states = workloads::tree_states(n, reps, 0xD00D);
         let results = sweep::sweep(&states, &[alpha], &[k], Objective::Max, None);
-        let v: Vec<f64> =
-            results.iter().filter_map(|c| c.result.final_metrics.quality).collect();
+        let v: Vec<f64> = results.iter().filter_map(|c| c.result.final_metrics.quality).collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     let q_local = quality(48, 2);
@@ -157,8 +156,7 @@ fn claim_full_knowledge_hubs_are_less_fair() {
     let grouped = sweep::by_cell(&results, &[0.2], &[2, 1000], reps);
     let unfair = |i: usize| {
         let (_, cells) = grouped[i];
-        let v: Vec<f64> =
-            cells.iter().filter_map(|c| c.result.final_metrics.unfairness).collect();
+        let v: Vec<f64> = cells.iter().filter_map(|c| c.result.final_metrics.unfairness).collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
     let local = unfair(0);

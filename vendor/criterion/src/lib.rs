@@ -1,0 +1,218 @@
+//! Offline vendored shim of the `criterion` API surface this
+//! workspace's benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a deliberately simple wall-clock loop (one warm-up
+//! batch, then `sample_size` timed batches, median-of-samples
+//! reporting) — adequate for spotting order-of-magnitude regressions
+//! offline; swap the real crate back in for rigorous statistics.
+//!
+//! Set `NCG_BENCH_FAST=1` to clamp every benchmark to one short batch
+//! (used by CI smoke runs).
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` naming, as in real criterion.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A benchmark distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock durations of the last `iter` call.
+    last_sample_times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output opaque to the optimiser.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: aim for samples of at least ~1ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        self.last_sample_times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.last_sample_times.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("NCG_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let mut times = bencher.last_sample_times.clone();
+    if times.is_empty() {
+        return;
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let best = times[0];
+    println!("{name:<60} median {median:>12.3?}   best {best:>12.3?}");
+}
+
+/// A named collection of related benchmarks. Holds the `&mut
+/// Criterion` borrow for source compatibility with real criterion's
+/// group lifetimes.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's sampling is fixed-cost.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim warm-up is fixed-cost.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.group_name, id.name);
+        let samples = if fast_mode() { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, last_sample_times: Vec::new() };
+        routine(&mut bencher);
+        report(&full, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |bencher| routine(bencher, input))
+    }
+
+    /// Ends the group (marker for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = group_name.into();
+        println!("group {group_name}");
+        let sample_size = if fast_mode() { 1 } else { 20 };
+        BenchmarkGroup { _criterion: self, group_name, sample_size }
+    }
+}
+
+/// Declares a group function calling each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("NCG_BENCH_FAST", "1");
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("count", |bencher| {
+            bencher.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42u64, |bencher, &x| {
+            bencher.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

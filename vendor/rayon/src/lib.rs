@@ -1,0 +1,267 @@
+//! Offline vendored shim of the `rayon` API surface this workspace
+//! uses: `into_par_iter()` on ranges and vectors with `map`,
+//! `map_init`, `enumerate` and indexed `collect`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
+//!
+//! Unlike most offline shims this one is **really parallel**: maps are
+//! executed on `std::thread::scope` workers, one chunk per hardware
+//! thread, with deterministic (input-order) results. There is no work
+//! stealing, so very skewed workloads balance worse than real rayon —
+//! an acceptable trade for a dependency-free build.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set while the current thread is a [`par_map`] worker; nested
+    /// parallel maps run inline instead of spawning another full
+    /// thread set (real rayon reuses its pool the same way).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn current_threads() -> usize {
+    if IN_WORKER.with(|c| c.get()) {
+        return 1;
+    }
+    POOL_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        .max(1)
+}
+
+/// Restores a thread-local [`Cell`] on drop, so overrides cannot leak
+/// past a panicking closure.
+struct CellRestore<T: Copy + 'static> {
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    previous: T,
+}
+
+impl<T: Copy + 'static> CellRestore<T> {
+    fn set(cell: &'static std::thread::LocalKey<Cell<T>>, value: T) -> Self {
+        let previous = cell.with(|c| c.replace(value));
+        CellRestore { cell, previous }
+    }
+}
+
+impl<T: Copy + 'static> Drop for CellRestore<T> {
+    fn drop(&mut self) {
+        self.cell.with(|c| c.set(self.previous));
+    }
+}
+
+/// An eager "parallel" iterator: the items are materialised, adapters
+/// fan the work out over scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`]; mirrors `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Order-preserving parallel map over owned items.
+fn par_map<T: Send, U: Send, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_threads().min(n);
+    if threads <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|item| f(&mut state, item)).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                let _worker = CellRestore::set(&IN_WORKER, true);
+                let mut state = init();
+                for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot.take().expect("slot filled exactly once");
+                    *dst = Some(f(&mut state, item));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; results keep input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: par_map(self.items, || (), |(), item| f(item)) }
+    }
+
+    /// Parallel map with per-worker scratch state created by `init` —
+    /// rayon's `map_init`.
+    pub fn map_init<S, U, I, F>(self, init: I, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> U + Sync,
+    {
+        ParIter { items: par_map(self.items, init, f) }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Collects the (already ordered) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A scoped thread-count override; `install` runs the closure with the
+/// pool's thread count applied to every parallel map it performs.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread-count override installed; the
+    /// override is restored even if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _restore = CellRestore::set(&POOL_THREADS, self.num_threads);
+        f()
+    }
+}
+
+/// Commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let doubled: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_and_keeps_order() {
+        let out: Vec<u64> = (0..257u64)
+            .into_par_iter()
+            .map_init(Vec::<u64>::new, |scratch, x| {
+                scratch.push(x);
+                x + 1
+            })
+            .collect();
+        assert_eq!(out, (1..=257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_then_map() {
+        let out: Vec<(usize, char)> =
+            vec!['a', 'b', 'c'].into_par_iter().enumerate().map(|p| p).collect();
+        assert_eq!(out, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn single_thread_pool_install() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..64usize).into_par_iter().map(|x| x).collect());
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn nested_maps_run_inline_and_stay_correct() {
+        // The inner map must not fan out again (workers run nested
+        // parallelism inline), and results must stay ordered.
+        let out: Vec<Vec<usize>> = (0..64usize)
+            .into_par_iter()
+            .map(|x| (0..8usize).into_par_iter().map(move |y| x * 8 + y).collect::<Vec<_>>())
+            .collect();
+        for (x, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (x * 8..x * 8 + 8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn install_restores_override_after_panic() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(result.is_err());
+        // The override must not leak into subsequent code.
+        assert!(crate::POOL_THREADS.with(|c| c.get()).is_none());
+    }
+}

@@ -1,0 +1,448 @@
+//! Offline vendored shim of `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a miniature serde: [`Serialize`] lowers a value to a JSON
+//! [`Value`] tree, [`Deserialize`] rebuilds it. The derive macros in
+//! `serde_derive` generate impls for plain structs and for enums with
+//! unit/struct variants — exactly the shapes this workspace uses — and
+//! follow real serde's JSON conventions (struct → object, unit variant
+//! → string, struct variant → externally tagged object) so serialised
+//! artifacts stay compatible if the real crates are ever restored.
+
+#![deny(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree; re-exported by `serde_json` as
+/// `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer outside `i64` range.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            Value::U64(x) => Some(x),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            Value::F64(x)
+                if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) =>
+            {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_object().and_then(|fields| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v))
+    }
+
+    /// One-line human-readable type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, name: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get_field(name).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, name: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(fields) = self else {
+            panic!("cannot index {} with a string key", self.kind());
+        };
+        if let Some(pos) = fields.iter().position(|(k, _)| k == name) {
+            &mut fields[pos].1
+        } else {
+            fields.push((name.to_string(), Value::Null));
+            &mut fields.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(elems) => &elems[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(elems) => &mut elems[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// A "missing field" error.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An "unexpected shape" error.
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        DeError(format!("invalid type: expected {expected}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization to a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetches a required struct field during derived deserialization.
+pub fn require<'v>(v: &'v Value, ty: &str, field: &str) -> Result<&'v Value, DeError> {
+    v.get_field(field).ok_or_else(|| DeError::missing_field(ty, field))
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as u64;
+                if x <= i64::MAX as u64 { Value::I64(x as i64) } else { Value::U64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v.as_u64().ok_or_else(|| DeError::invalid_type("unsigned integer", v))?;
+                <$t>::try_from(x).map_err(|_| DeError::custom(
+                    format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x = v.as_i64().ok_or_else(|| DeError::invalid_type("integer", v))?;
+                <$t>::try_from(x).map_err(|_| DeError::custom(
+                    format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        // JSON has no Infinity/NaN; mirror serde_json's `null`.
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::invalid_type("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(elems) => elems.iter().map(T::from_value).collect(),
+            other => Err(DeError::invalid_type("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let elems = v.as_array().ok_or_else(|| DeError::invalid_type("array", v))?;
+                let expected = [$($idx),+].len();
+                if elems.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {expected}, found {}", elems.len())));
+                }
+                Ok(($($name::from_value(&elems[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&None::<u32>.to_value()).unwrap(), None);
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+        assert_eq!(Vec::<Vec<u32>>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn index_mut_inserts_and_replaces() {
+        let mut v = Value::Object(vec![("a".into(), Value::I64(1))]);
+        v["a"] = Value::I64(2);
+        v["b"] = Value::Bool(true);
+        assert_eq!(v["a"], Value::I64(2));
+        assert_eq!(v["b"], Value::Bool(true));
+        assert_eq!(v["missing"], Value::Null);
+    }
+}

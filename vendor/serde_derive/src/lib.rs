@@ -1,0 +1,307 @@
+//! Offline vendored shim of `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` available offline) for
+//! the shapes this workspace actually uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or struct (named-field) variants.
+//!
+//! Generics, tuple structs/variants and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-handled.
+//! The generated impls target the value-tree traits of the vendored
+//! `serde` shim and reproduce real serde's JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// One enum variant: its name plus `None` (unit) or its named fields.
+type Variant = (String, Option<Vec<String>>);
+
+enum Shape {
+    /// Named fields of a struct.
+    Struct(Vec<String>),
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+        }
+    };
+    let code = match (mode, &shape) {
+        (Mode::Serialize, Shape::Struct(fields)) => serialize_struct(&name, fields),
+        (Mode::Deserialize, Shape::Struct(fields)) => deserialize_struct(&name, fields),
+        (Mode::Serialize, Shape::Enum(variants)) => serialize_enum(&name, variants),
+        (Mode::Deserialize, Shape::Enum(variants)) => deserialize_enum(&name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Parses `[attrs] [pub] (struct|enum) Name { ... }`, returning the
+/// type name and its shape. Field/variant *types* are never needed —
+/// the generated code lets inference pick the right `from_value`.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("serde shim derive does not support generic type `{name}`"));
+            }
+            Some(_) => continue,
+            None => return Err(format!("no braced body found for `{name}`")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok((name, Shape::Struct(parse_named_fields(body)?))),
+        "enum" => Ok((name, Shape::Enum(parse_variants(body)?))),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn skip_attributes_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a brace-group body on commas that sit outside any `<...>`
+/// nesting (parens/brackets/braces are opaque `Group`s already).
+fn split_top_level_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(token);
+    }
+    chunks.retain(|chunk| !chunk.is_empty());
+    chunks
+}
+
+/// `name: Type` chunks → field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut tokens = chunk.into_iter().peekable();
+            skip_attributes_and_vis(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Ident(word)) => Ok(word.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+/// Variant chunks → `(name, None | Some(field names))`.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .map(|chunk| {
+            let mut tokens = chunk.into_iter().peekable();
+            skip_attributes_and_vis(&mut tokens);
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(word)) => word.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            match tokens.next() {
+                None => Ok((name, None)),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok((name.clone(), Some(parse_named_fields(g.stream())?)))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Err(format!("serde shim derive does not support tuple variant `{name}`"))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => Err(format!(
+                    "serde shim derive does not support discriminants (variant `{name}`)"
+                )),
+                other => Err(format!("unexpected token after variant `{name}`: {other:?}")),
+            }
+        })
+        .collect()
+}
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        let _ = writeln!(
+            pushes,
+            "fields.push(({field:?}.to_string(), ::serde::Serialize::to_value(&self.{field})));"
+        );
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        let _ = writeln!(
+            inits,
+            "{field}: ::serde::Deserialize::from_value(::serde::require(v, {name:?}, {field:?})?)?,"
+        );
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::invalid_type(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            None => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),"
+                );
+            }
+            Some(fields) => {
+                let bindings = fields.join(", ");
+                let mut pushes = String::new();
+                for field in fields {
+                    let _ = writeln!(
+                        pushes,
+                        "fields.push(({field:?}.to_string(), ::serde::Serialize::to_value({field})));"
+                    );
+                }
+                let _ = writeln!(
+                    arms,
+                    "{name}::{variant} {{ {bindings} }} => {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(vec![({variant:?}.to_string(), \
+                             ::serde::Value::Object(fields))])\n\
+                     }},"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            None => {
+                let _ = writeln!(
+                    unit_arms,
+                    "{variant:?} => return ::std::result::Result::Ok({name}::{variant}),"
+                );
+            }
+            Some(fields) => {
+                let mut inits = String::new();
+                for field in fields {
+                    let _ = writeln!(
+                        inits,
+                        "{field}: ::serde::Deserialize::from_value(\
+                             ::serde::require(inner, {name:?}, {field:?})?)?,"
+                    );
+                }
+                let _ = writeln!(
+                    tagged_arms,
+                    "{variant:?} => return ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::std::option::Option::Some(tag) = v.as_str() {{\n\
+                     match tag {{ {unit_arms} _ => {{}} }}\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\n\
+                         format!(\"unknown unit variant `{{tag}}` for {name}\")));\n\
+                 }}\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::invalid_type(\"string or object\", v))?;\n\
+                 if obj.len() != 1 {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\n\
+                         \"expected single-key object for externally tagged enum {name}\"));\n\
+                 }}\n\
+                 let (tag, inner) = (&obj[0].0, &obj[0].1);\n\
+                 match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\n\
+                     format!(\"unknown variant `{{tag}}` for {name}\")))\n\
+             }}\n\
+         }}"
+    )
+}
