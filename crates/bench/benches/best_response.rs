@@ -1,9 +1,10 @@
 //! Best-response engine benchmarks: the Section 5.3 reduction (our
-//! Gurobi replacement) across view sizes, exact vs greedy, Max vs Sum.
+//! Gurobi replacement) across view sizes, exact vs greedy, Max vs Sum,
+//! and the incremental engine against the seed per-`h` rebuild loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ncg_core::{GameSpec, GameState, PlayerView};
-use ncg_solver::{max_br, sum_br, Mode};
+use ncg_solver::{max_br, sum_br, Mode, SolverScratch};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -31,12 +32,21 @@ fn bench_max_exact(c: &mut Criterion) {
             b.iter(|| max_br::max_best_response(&spec, view, Mode::Exact))
         });
     }
-    // Full-knowledge views on the paper's n = 100 ER row.
+    // Full-knowledge views on the paper's n = 100 ER row: the
+    // incremental engine with reused scratch (the dynamics hot path),
+    // the per-call-scratch variant, and the seed rebuild baseline.
     let er = er_state(100, 0.1, 2);
     let spec = GameSpec::max(1.0, 1000);
     let view = PlayerView::build(&er, 0, 1000);
     group.bench_function("er100_full_view", |b| {
+        let mut scratch = SolverScratch::new();
+        b.iter(|| max_br::max_best_response_with(&spec, &view, Mode::Exact, &mut scratch))
+    });
+    group.bench_function("er100_full_view_cold_scratch", |b| {
         b.iter(|| max_br::max_best_response(&spec, &view, Mode::Exact))
+    });
+    group.bench_function("er100_full_view_rebuild", |b| {
+        b.iter(|| max_br::max_best_response_cost_rebuild(&spec, &view))
     });
     group.finish();
 }

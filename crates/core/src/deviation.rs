@@ -48,8 +48,10 @@ impl DeviationEval {
     }
 }
 
-/// Scratch space for deviation evaluation; reuse across calls.
-#[derive(Debug, Default)]
+/// Scratch space for deviation evaluation; reuse across calls (the
+/// solver crate embeds one in its `SolverScratch` bundle so dynamics
+/// rounds share it across every candidate evaluation).
+#[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     buf: DistanceBuffer,
     sources: Vec<NodeId>,

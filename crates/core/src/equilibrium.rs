@@ -82,11 +82,21 @@ pub const EXHAUSTIVE_CAP: usize = 20;
 /// Ties are broken toward fewer purchased edges, then lexicographically
 /// smaller strategies, so the result is deterministic.
 pub fn best_response_exhaustive(spec: &GameSpec, view: &PlayerView) -> Result<Deviation, TooLarge> {
+    best_response_exhaustive_with(spec, view, &mut EvalScratch::new())
+}
+
+/// [`best_response_exhaustive`] with caller-provided evaluation
+/// scratch, for hot loops (the SumNCG solver threads its per-run
+/// scratch through here).
+pub fn best_response_exhaustive_with(
+    spec: &GameSpec,
+    view: &PlayerView,
+    scratch: &mut EvalScratch,
+) -> Result<Deviation, TooLarge> {
     let candidates = view.candidates();
     if candidates.len() > EXHAUSTIVE_CAP {
         return Err(TooLarge { candidates: candidates.len(), cap: EXHAUSTIVE_CAP });
     }
-    let mut scratch = EvalScratch::new();
     let mut best =
         Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
     let mut strat: Vec<NodeId> = Vec::with_capacity(candidates.len());
@@ -97,7 +107,7 @@ pub fn best_response_exhaustive(spec: &GameSpec, view: &PlayerView) -> Result<De
                 strat.push(c);
             }
         }
-        let cost = evaluate_total(spec, view, &strat, &mut scratch);
+        let cost = evaluate_total(spec, view, &strat, scratch);
         let better = GameSpec::strictly_better(cost, best.total_cost)
             || ((cost - best.total_cost).abs() <= crate::EPS
                 && (strat.len() < best.strategy_local.len()

@@ -110,7 +110,7 @@ pub struct RunResult {
 /// Runs round-robin best-response dynamics from `initial` until
 /// equilibrium, cycle, or the round cap. Deterministic.
 pub fn run(initial: GameState, config: &DynamicsConfig) -> RunResult {
-    let mut responder = Responder { mode: config.mode };
+    let mut responder = Responder::new(config.mode);
     run_with(initial, config, &mut responder)
 }
 

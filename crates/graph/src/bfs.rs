@@ -5,8 +5,43 @@
 //! out in them. They therefore follow the allocation discipline from
 //! the performance guides: a caller-provided [`DistanceBuffer`] is
 //! reused across calls and nothing is allocated per BFS.
+//!
+//! All entry points — single-source, bounded, skipping, multi-source,
+//! on [`Graph`] or on [`crate::CsrGraph`] — are thin wrappers around
+//! **one** batched frontier sweep ([`bfs_kernel`]), parameterised over
+//! the [`Adjacency`] representation. View extraction
+//! (`crate::view::ball`), the deviation evaluator's multi-source
+//! sweeps, and the best-response reduction's per-source APSP therefore
+//! share a single, monomorphised inner loop (see `DESIGN.md` §5).
 
 use crate::{Graph, NodeId, INFINITY};
+
+/// Sentinel for "no node": larger than any valid [`NodeId`] (ids are
+/// dense indices `< node_count ≤ u32::MAX`).
+const NO_NODE: NodeId = u32::MAX;
+
+/// Anything that can hand out a neighbour slice per node — the minimal
+/// adjacency interface the BFS kernel needs. Implemented by the
+/// mutable [`Graph`] and the frozen [`crate::CsrGraph`], so every BFS
+/// flavour is written once and monomorphised per representation.
+pub trait Adjacency {
+    /// Number of nodes (ids are `0..node_count()`).
+    fn node_count(&self) -> usize;
+    /// Sorted neighbour slice of `u`.
+    fn adjacent(&self, u: NodeId) -> &[NodeId];
+}
+
+impl Adjacency for Graph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+
+    #[inline]
+    fn adjacent(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
+    }
+}
 
 /// Reusable scratch space for BFS.
 ///
@@ -61,118 +96,31 @@ impl DistanceBuffer {
         self.dist.resize(n, INFINITY);
         self.queue.clear();
     }
-
-    // -- crate-internal plumbing for alternative BFS drivers (CSR) --
-
-    /// Crate-internal: reset for an `n`-node graph.
-    #[inline]
-    pub(crate) fn reset_pub(&mut self, n: usize) {
-        self.reset(n);
-    }
-
-    /// Crate-internal: enqueue `s` at distance 0.
-    #[inline]
-    pub(crate) fn seed(&mut self, s: NodeId) {
-        if self.dist[s as usize] != 0 {
-            self.dist[s as usize] = 0;
-            self.queue.push(s);
-        }
-    }
-
-    /// Crate-internal: FIFO pop via an external head cursor.
-    #[inline]
-    pub(crate) fn pop(&mut self, head: &mut usize) -> Option<NodeId> {
-        let u = self.queue.get(*head).copied();
-        if u.is_some() {
-            *head += 1;
-        }
-        u
-    }
-
-    /// Crate-internal: relax `v` to distance `d` if undiscovered.
-    #[inline]
-    pub(crate) fn relax(&mut self, v: NodeId, d: u32) {
-        if self.dist[v as usize] == INFINITY {
-            self.dist[v as usize] = d;
-            self.queue.push(v);
-        }
-    }
 }
 
-/// Full BFS from `source`; fills `buf` with distances in `g`.
+/// The one batched frontier sweep every public BFS flavour wraps:
+/// multi-source, distance-bounded, with an optional deleted node.
 ///
-/// Returns the eccentricity of `source` within its connected component
-/// (the largest finite distance reached).
-pub fn bfs(g: &Graph, source: NodeId, buf: &mut DistanceBuffer) -> u32 {
-    bfs_bounded(g, source, u32::MAX, buf)
-}
-
-/// BFS from `source` truncated at distance `limit` (inclusive).
+/// * `sources` are enqueued at distance 0 (duplicates and the skipped
+///   node are ignored);
+/// * nodes at distance `> limit` keep `INFINITY` and are not enqueued;
+/// * `skip` (pass [`NO_NODE`] for none) keeps `INFINITY` and its
+///   incident edges are ignored — the `H ∖ {u}` semantics of the
+///   best-response reduction.
 ///
-/// Nodes at distance `> limit` keep distance `INFINITY` and are not
-/// enqueued, which is exactly the semantics needed for radius-`k`
-/// views. Returns the largest distance reached (`≤ limit`).
-pub fn bfs_bounded(g: &Graph, source: NodeId, limit: u32, buf: &mut DistanceBuffer) -> u32 {
-    debug_assert!((source as usize) < g.node_count(), "BFS source out of range");
-    buf.reset(g.node_count());
-    buf.dist[source as usize] = 0;
-    buf.queue.push(source);
-    let mut head = 0usize;
-    let mut max_d = 0u32;
-    while head < buf.queue.len() {
-        let u = buf.queue[head];
-        head += 1;
-        let du = buf.dist[u as usize];
-        max_d = du;
-        if du == limit {
-            continue;
-        }
-        for &v in g.neighbors(u) {
-            if buf.dist[v as usize] == INFINITY {
-                buf.dist[v as usize] = du + 1;
-                buf.queue.push(v);
-            }
-        }
-    }
-    max_d
-}
-
-/// BFS from `source` on `g` *with node `skip` deleted*.
-///
-/// Used by the best-response reduction, which works on `H ∖ {u}`
-/// without materialising the node-deleted graph. `skip` keeps distance
-/// `INFINITY` and its incident edges are ignored.
-pub fn bfs_skipping(g: &Graph, source: NodeId, skip: NodeId, buf: &mut DistanceBuffer) -> u32 {
-    debug_assert_ne!(source, skip, "cannot BFS from the deleted node");
-    buf.reset(g.node_count());
-    buf.dist[source as usize] = 0;
-    buf.queue.push(source);
-    let mut head = 0usize;
-    let mut max_d = 0u32;
-    while head < buf.queue.len() {
-        let u = buf.queue[head];
-        head += 1;
-        let du = buf.dist[u as usize];
-        max_d = du;
-        for &v in g.neighbors(u) {
-            if v != skip && buf.dist[v as usize] == INFINITY {
-                buf.dist[v as usize] = du + 1;
-                buf.queue.push(v);
-            }
-        }
-    }
-    max_d
-}
-
-/// BFS from a *set* of sources (multi-source BFS), all at distance 0.
-///
-/// Returns the largest finite distance reached. Empty source sets
-/// yield an all-`INFINITY` buffer and return 0.
-pub fn bfs_multi(g: &Graph, sources: &[NodeId], buf: &mut DistanceBuffer) -> u32 {
+/// Returns the largest finite distance reached (0 when no source is
+/// usable).
+fn bfs_kernel<A: Adjacency + ?Sized>(
+    g: &A,
+    sources: &[NodeId],
+    limit: u32,
+    skip: NodeId,
+    buf: &mut DistanceBuffer,
+) -> u32 {
     buf.reset(g.node_count());
     for &s in sources {
         debug_assert!((s as usize) < g.node_count(), "BFS source out of range");
-        if buf.dist[s as usize] != 0 {
+        if s != skip && buf.dist[s as usize] != 0 {
             buf.dist[s as usize] = 0;
             buf.queue.push(s);
         }
@@ -184,8 +132,11 @@ pub fn bfs_multi(g: &Graph, sources: &[NodeId], buf: &mut DistanceBuffer) -> u32
         head += 1;
         let du = buf.dist[u as usize];
         max_d = du;
-        for &v in g.neighbors(u) {
-            if buf.dist[v as usize] == INFINITY {
+        if du == limit {
+            continue;
+        }
+        for &v in g.adjacent(u) {
+            if buf.dist[v as usize] == INFINITY && v != skip {
                 buf.dist[v as usize] = du + 1;
                 buf.queue.push(v);
             }
@@ -194,9 +145,91 @@ pub fn bfs_multi(g: &Graph, sources: &[NodeId], buf: &mut DistanceBuffer) -> u32
     max_d
 }
 
+/// Crate-internal access to the shared kernel for alternative drivers
+/// (the CSR methods in [`crate::csr`]).
+#[inline]
+pub(crate) fn kernel_multi_bounded<A: Adjacency + ?Sized>(
+    g: &A,
+    sources: &[NodeId],
+    limit: u32,
+    buf: &mut DistanceBuffer,
+) -> u32 {
+    bfs_kernel(g, sources, limit, NO_NODE, buf)
+}
+
+/// Full BFS from `source`; fills `buf` with distances in `g`.
+///
+/// Returns the eccentricity of `source` within its connected component
+/// (the largest finite distance reached).
+pub fn bfs<A: Adjacency + ?Sized>(g: &A, source: NodeId, buf: &mut DistanceBuffer) -> u32 {
+    bfs_kernel(g, &[source], u32::MAX, NO_NODE, buf)
+}
+
+/// BFS from `source` truncated at distance `limit` (inclusive).
+///
+/// Nodes at distance `> limit` keep distance `INFINITY` and are not
+/// enqueued, which is exactly the semantics needed for radius-`k`
+/// views. Returns the largest distance reached (`≤ limit`).
+pub fn bfs_bounded<A: Adjacency + ?Sized>(
+    g: &A,
+    source: NodeId,
+    limit: u32,
+    buf: &mut DistanceBuffer,
+) -> u32 {
+    bfs_kernel(g, &[source], limit, NO_NODE, buf)
+}
+
+/// BFS from `source` on `g` *with node `skip` deleted*.
+///
+/// Used by the best-response reduction, which works on `H ∖ {u}`
+/// without materialising the node-deleted graph. `skip` keeps distance
+/// `INFINITY` and its incident edges are ignored.
+pub fn bfs_skipping<A: Adjacency + ?Sized>(
+    g: &A,
+    source: NodeId,
+    skip: NodeId,
+    buf: &mut DistanceBuffer,
+) -> u32 {
+    debug_assert_ne!(source, skip, "cannot BFS from the deleted node");
+    bfs_kernel(g, &[source], u32::MAX, skip, buf)
+}
+
+/// BFS from a *set* of sources (multi-source BFS), all at distance 0.
+///
+/// Returns the largest finite distance reached. Empty source sets
+/// yield an all-`INFINITY` buffer and return 0.
+pub fn bfs_multi<A: Adjacency + ?Sized>(
+    g: &A,
+    sources: &[NodeId],
+    buf: &mut DistanceBuffer,
+) -> u32 {
+    bfs_kernel(g, sources, u32::MAX, NO_NODE, buf)
+}
+
+/// Multi-source BFS truncated at distance `limit` (inclusive): the
+/// batched frontier sweep behind view extraction and the incremental
+/// best-response APSP. Duplicate sources are harmless; with `limit` 0
+/// only the sources themselves are visited.
+pub fn bfs_multi_bounded<A: Adjacency + ?Sized>(
+    g: &A,
+    sources: &[NodeId],
+    limit: u32,
+    buf: &mut DistanceBuffer,
+) -> u32 {
+    bfs_kernel(g, sources, limit, NO_NODE, buf)
+}
+
 /// Single-pair shortest-path distance (early-exit BFS).
+///
+/// On success the buffer is consistent with the return value: the
+/// found target has its distance recorded and appears in
+/// [`DistanceBuffer::visited`] (nodes *behind* it are still
+/// unexplored — the early exit is the point).
 pub fn distance(g: &Graph, u: NodeId, v: NodeId, buf: &mut DistanceBuffer) -> u32 {
     if u == v {
+        buf.reset(g.node_count());
+        buf.dist[u as usize] = 0;
+        buf.queue.push(u);
         return 0;
     }
     buf.reset(g.node_count());
@@ -209,11 +242,11 @@ pub fn distance(g: &Graph, u: NodeId, v: NodeId, buf: &mut DistanceBuffer) -> u3
         let dx = buf.dist[x as usize];
         for &y in g.neighbors(x) {
             if buf.dist[y as usize] == INFINITY {
+                buf.dist[y as usize] = dx + 1;
+                buf.queue.push(y);
                 if y == v {
                     return dx + 1;
                 }
-                buf.dist[y as usize] = dx + 1;
-                buf.queue.push(y);
             }
         }
     }
@@ -312,6 +345,44 @@ mod tests {
     }
 
     #[test]
+    fn multi_bounded_limit_zero_visits_sources_only() {
+        let g = generators::path(8);
+        let mut buf = DistanceBuffer::new();
+        let maxd = bfs_multi_bounded(&g, &[2, 5], 0, &mut buf);
+        assert_eq!(maxd, 0);
+        assert_eq!(buf.visited(), &[2, 5]);
+        assert_eq!(buf.dist(3), INFINITY);
+        assert_eq!(buf.dist(2), 0);
+    }
+
+    #[test]
+    fn multi_bounded_with_duplicate_sources_truncates() {
+        let g = generators::path(9);
+        let mut buf = DistanceBuffer::new();
+        let maxd = bfs_multi_bounded(&g, &[4, 4, 0], 2, &mut buf);
+        assert_eq!(maxd, 2);
+        assert_eq!(buf.dist(4), 0);
+        assert_eq!(buf.dist(6), 2);
+        assert_eq!(buf.dist(7), INFINITY);
+        // node 4 enqueued once despite the duplicate source.
+        assert_eq!(buf.visited().iter().filter(|&&v| v == 4).count(), 1);
+    }
+
+    #[test]
+    fn multi_bounded_on_disconnected_graph() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (4, 5)]).unwrap();
+        let mut buf = DistanceBuffer::new();
+        let maxd = bfs_multi_bounded(&g, &[0], 10, &mut buf);
+        assert_eq!(maxd, 2);
+        assert_eq!(buf.dist(3), INFINITY);
+        assert_eq!(buf.dist(4), INFINITY);
+        // A source per component covers both sides; the isolate stays ∞.
+        bfs_multi_bounded(&g, &[0, 4], 10, &mut buf);
+        assert_eq!(buf.dist(5), 1);
+        assert_eq!(buf.dist(3), INFINITY);
+    }
+
+    #[test]
     fn pairwise_distance_matches_full_bfs() {
         let g = generators::cycle(11);
         let mut buf = DistanceBuffer::new();
@@ -322,6 +393,23 @@ mod tests {
                 assert_eq!(distance(&g, u, v, &mut buf), full.dist(v), "({u},{v})");
             }
         }
+    }
+
+    #[test]
+    fn distance_records_the_found_target_in_the_buffer() {
+        // Regression: the early exit used to return without writing the
+        // target's distance, leaving `buf.dist(v)` at INFINITY and
+        // `visited()` missing `v` for a reachable target.
+        let g = generators::path(6);
+        let mut buf = DistanceBuffer::new();
+        let d = distance(&g, 0, 4, &mut buf);
+        assert_eq!(d, 4);
+        assert_eq!(buf.dist(4), d, "buffer must agree with the return value");
+        assert!(buf.visited().contains(&4), "found target must be recorded as visited");
+        // Identity pairs are consistent too.
+        assert_eq!(distance(&g, 3, 3, &mut buf), 0);
+        assert_eq!(buf.dist(3), 0);
+        assert_eq!(buf.visited(), &[3]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! allocation. Freezing is `O(n + m)`; the benches in
 //! `ncg-bench/benches/substrates.rs` quantify the BFS win.
 
-use crate::bfs::DistanceBuffer;
+use crate::bfs::{kernel_multi_bounded, Adjacency, DistanceBuffer};
 #[cfg(test)]
 use crate::INFINITY;
 use crate::{Graph, NodeId};
@@ -73,22 +73,22 @@ impl CsrGraph {
 
     /// Bounded BFS (distance `≤ limit`) on the CSR layout.
     pub fn bfs_bounded(&self, source: NodeId, limit: u32, buf: &mut DistanceBuffer) -> u32 {
-        debug_assert!((source as usize) < self.node_count());
-        buf.reset_pub(self.node_count());
-        buf.seed(source);
-        let mut head = 0usize;
-        let mut max_d = 0u32;
-        while let Some(u) = buf.pop(&mut head) {
-            let du = buf.dist(u);
-            max_d = du;
-            if du == limit {
-                continue;
-            }
-            for &v in self.neighbors(u) {
-                buf.relax(v, du + 1);
-            }
-        }
-        max_d
+        kernel_multi_bounded(self, &[source], limit, buf)
+    }
+
+    /// Bounded **multi-source** BFS on the CSR layout: every source is
+    /// enqueued at distance 0 (duplicates are harmless), nodes at
+    /// distance `> limit` keep `INFINITY`. This is the batched frontier
+    /// sweep the best-response reduction's APSP and the view machinery
+    /// share (one kernel, see `crate::bfs`); returns the largest
+    /// finite distance reached.
+    pub fn bfs_multi_bounded(
+        &self,
+        sources: &[NodeId],
+        limit: u32,
+        buf: &mut DistanceBuffer,
+    ) -> u32 {
+        kernel_multi_bounded(self, sources, limit, buf)
     }
 
     /// All-pairs distance matrix via per-source BFS (sequential; the
@@ -112,6 +112,18 @@ impl CsrGraph {
         } else {
             None
         }
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn node_count(&self) -> usize {
+        CsrGraph::node_count(self)
+    }
+
+    #[inline]
+    fn adjacent(&self, u: NodeId) -> &[NodeId] {
+        self.neighbors(u)
     }
 }
 
@@ -182,6 +194,24 @@ mod tests {
         assert_eq!(csr.eccentricity(0, &mut buf), None);
         let c = CsrGraph::from_graph(&generators::cycle(8));
         assert_eq!(c.eccentricity(0, &mut buf), Some(4));
+    }
+
+    #[test]
+    fn csr_multi_bounded_matches_graph_kernel() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = generators::gnp(50, 0.07, &mut rng).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        let mut a = DistanceBuffer::new();
+        let mut b = DistanceBuffer::new();
+        for (sources, limit) in
+            [(vec![0u32, 7, 7, 23], 2u32), (vec![3], 0), (vec![], 5), (vec![11, 40], u32::MAX)]
+        {
+            let da = crate::bfs::bfs_multi_bounded(&g, &sources, limit, &mut a);
+            let db = csr.bfs_multi_bounded(&sources, limit, &mut b);
+            assert_eq!(da, db);
+            assert_eq!(a.distances(), b.distances());
+            assert_eq!(a.visited(), b.visited());
+        }
     }
 
     #[test]

@@ -137,6 +137,16 @@ impl BitSet {
         None
     }
 
+    /// Sets `self = a ∖ b`, reusing this set's allocation. The
+    /// branch-and-bound recomputes its "still uncovered" mask once per
+    /// node with this instead of re-deriving it inside every bound.
+    pub fn assign_difference(&mut self, a: &BitSet, b: &BitSet) {
+        debug_assert_eq!(a.capacity, b.capacity);
+        self.capacity = a.capacity;
+        self.words.clear();
+        self.words.extend(a.words.iter().zip(&b.words).map(|(aw, bw)| aw & !bw));
+    }
+
     /// `|self ∩ other|`.
     #[inline]
     pub fn intersection_len(&self, other: &BitSet) -> usize {
@@ -171,7 +181,7 @@ impl BitSet {
     /// Raw word access for hot word-parallel loops (e.g. the coverage
     /// gains in the dominating-set branch-and-bound).
     #[inline]
-    pub(crate) fn words_slice(&self) -> &[u64] {
+    pub(crate) fn words(&self) -> &[u64] {
         &self.words
     }
 }
@@ -227,6 +237,17 @@ mod tests {
         let all = BitSet::full(130);
         assert_eq!(all.missing_from(&universe), 0);
         assert_eq!(all.first_missing_from(&universe), None);
+    }
+
+    #[test]
+    fn assign_difference_reuses_allocation() {
+        let a = BitSet::from_elems(130, [0, 3, 64, 129]);
+        let b = BitSet::from_elems(130, [3, 64]);
+        let mut d = BitSet::new(7); // wrong capacity on purpose
+        d.assign_difference(&a, &b);
+        assert_eq!(d.to_vec(), vec![0, 129]);
+        assert_eq!(d.capacity(), 130);
+        assert_eq!(d.len(), a.missing_from(&b).max(b.missing_from(&a)));
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! around `s` in `H ∖ {u}`).
 //!
 //! Branching rule: pick the uncovered vertex with the fewest
-//! dominators and branch on each of them, best-coverage-first. Pruning:
-//! greedy initial upper bound, and the fractional lower bound
-//! `⌈uncovered / max_cover⌉`. On the dense power graphs of the
-//! reduction optima are tiny (≤ 10 typically), so the tree stays small.
+//! dominators and branch on each of them, best-coverage-first. The
+//! search itself — bounds, scratch pools, and the incremental state
+//! that lets the reduction grow coverage across eccentricity guesses
+//! instead of rebuilding — lives in [`crate::engine`]; this module
+//! keeps the one-shot instance type and the greedy baseline.
 
 use crate::bitset::BitSet;
 
@@ -34,6 +35,25 @@ pub struct DominationInstance {
 pub type Solution = Vec<u32>;
 
 impl DominationInstance {
+    /// The classic graph-domination instance over `g`: `covers[s]` is
+    /// the closed neighbourhood of `s` and every vertex must be
+    /// dominated. The shared builder behind the domination tests,
+    /// benches and the perf smoke test.
+    pub fn closed_neighborhoods(g: &ncg_graph::Graph, forced: Vec<u32>) -> Self {
+        let n = g.node_count();
+        let covers = (0..n as u32)
+            .map(|s| {
+                let mut b = BitSet::new(n);
+                b.insert(s);
+                for &v in g.neighbors(s) {
+                    b.insert(v);
+                }
+                b
+            })
+            .collect();
+        DominationInstance { covers, universe: BitSet::full(n), forced }
+    }
+
     /// Number of elements in the ground set.
     pub fn n(&self) -> usize {
         self.covers.len()
@@ -96,160 +116,15 @@ impl DominationInstance {
     /// optimality. Returns `None` if infeasible or no solution beats
     /// the cutoff.
     ///
-    /// Two lower bounds prune the tree: the fractional bound
-    /// `⌈uncovered / max_cover⌉` (good on dense instances) and a
-    /// **packing bound** — uncovered vertices with pairwise-disjoint
-    /// dominator sets each need their own dominator (near-tight on
-    /// sparse instances such as tree domination, where the fractional
-    /// bound alone lets the tree explode).
+    /// This is the one-shot entry point: it builds a fresh
+    /// [`crate::engine::DominationEngine`] (dominator transpose,
+    /// packing order, scratch pools) and solves once. Callers that
+    /// solve a *growing* family of instances — the per-`h` loop of the
+    /// best-response reduction — should hold an engine and feed it
+    /// incrementally instead; see `DESIGN.md` §4.3 and the
+    /// `dominating_set/exact_bnb_incremental` bench for the delta.
     pub fn solve_exact(&self, cutoff: usize) -> Option<Solution> {
-        if !self.is_feasible() {
-            return None;
-        }
-        // Transpose: dominators[v] = {s : v ∈ covers[s]}, both as an
-        // adjacency list (for branching) and as bitsets (for the
-        // packing bound).
-        let n = self.n();
-        let mut dominators: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut dominator_sets: Vec<BitSet> = vec![BitSet::new(n); n];
-        for (s, c) in self.covers.iter().enumerate() {
-            for v in c.iter() {
-                dominators[v as usize].push(s as u32);
-                dominator_sets[v as usize].insert(s as u32);
-            }
-        }
-        // Static packing order: few-dominator vertices first makes the
-        // greedy packing larger, hence the bound stronger.
-        let mut packing_order: Vec<u32> = self.universe.iter().collect();
-        packing_order.sort_unstable_by_key(|&v| dominators[v as usize].len());
-        let max_cover = self
-            .covers
-            .iter()
-            .map(|c| c.intersection_len(&self.universe))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        let covered = self.initial_covered();
-        // Greedy upper bound seeds `best`.
-        let mut best: Option<Solution> = self.solve_greedy();
-        let mut best_len = best.as_ref().map(|b| b.len()).unwrap_or(usize::MAX).min(cutoff);
-        if best.as_ref().is_some_and(|b| b.len() >= cutoff) {
-            best = None;
-        }
-        let mut chosen: Vec<u32> = Vec::new();
-        let mut search = Search {
-            inst: self,
-            dominators: &dominators,
-            dominator_sets: &dominator_sets,
-            packing_order: &packing_order,
-            max_cover,
-            best: &mut best,
-            best_len: &mut best_len,
-            used_scratch: BitSet::new(n),
-        };
-        search.recurse(covered, &mut chosen);
-        best.map(|mut b| {
-            b.sort_unstable();
-            b
-        })
-    }
-}
-
-struct Search<'a> {
-    inst: &'a DominationInstance,
-    dominators: &'a [Vec<u32>],
-    dominator_sets: &'a [BitSet],
-    packing_order: &'a [u32],
-    max_cover: usize,
-    best: &'a mut Option<Solution>,
-    best_len: &'a mut usize,
-    used_scratch: BitSet,
-}
-
-impl Search<'_> {
-    /// Greedy packing: count uncovered vertices whose dominator sets
-    /// are pairwise disjoint — each needs a distinct chosen element.
-    fn packing_bound(&mut self, covered: &BitSet) -> usize {
-        self.used_scratch.clear();
-        let mut count = 0usize;
-        for &v in self.packing_order {
-            if !covered.contains(v)
-                && self.used_scratch.intersection_len(&self.dominator_sets[v as usize]) == 0
-            {
-                count += 1;
-                self.used_scratch.union_with(&self.dominator_sets[v as usize]);
-            }
-        }
-        count
-    }
-
-    fn recurse(&mut self, covered: BitSet, chosen: &mut Vec<u32>) {
-        let uncovered = covered.missing_from(&self.inst.universe);
-        if uncovered == 0 {
-            if chosen.len() < *self.best_len {
-                *self.best_len = chosen.len();
-                *self.best = Some(chosen.clone());
-            }
-            return;
-        }
-        // Lower bounds: fractional (dense instances) and packing
-        // (sparse instances).
-        let frac = uncovered.div_ceil(self.max_cover);
-        if chosen.len() + frac >= *self.best_len {
-            return;
-        }
-        let lb = chosen.len() + frac.max(self.packing_bound(&covered));
-        if lb >= *self.best_len {
-            return;
-        }
-        // Branch on the uncovered vertex with the fewest useful
-        // dominators (fail-first).
-        let mut branch_v: Option<(usize, u32)> = None;
-        let mut probe = covered.clone();
-        for v in 0..self.inst.n() as u32 {
-            if self.inst.universe.contains(v) && !covered.contains(v) {
-                let deg = self.dominators[v as usize].len();
-                if branch_v.is_none_or(|(bd, _)| deg < bd) {
-                    branch_v = Some((deg, v));
-                    if deg <= 1 {
-                        break;
-                    }
-                }
-            }
-        }
-        let (_, v) = branch_v.expect("uncovered > 0 implies an uncovered vertex exists");
-        // Order candidate dominators by marginal coverage, descending.
-        let mut cands: Vec<(usize, u32)> = self.dominators[v as usize]
-            .iter()
-            .map(|&s| {
-                let mut gain = 0usize;
-                for ((cw, uw), dw) in self.inst.covers[s as usize]
-                    .words()
-                    .iter()
-                    .zip(self.inst.universe.words())
-                    .zip(covered.words())
-                {
-                    gain += (cw & uw & !dw).count_ones() as usize;
-                }
-                (gain, s)
-            })
-            .collect();
-        cands.sort_unstable_by(|a, b| b.cmp(a));
-        for (_, s) in cands {
-            probe.clone_from(&covered);
-            probe.union_with(&self.inst.covers[s as usize]);
-            chosen.push(s);
-            self.recurse(probe.clone(), chosen);
-            chosen.pop();
-        }
-    }
-}
-
-impl BitSet {
-    /// Raw word access for the hot coverage-gain loops above.
-    #[inline]
-    pub(crate) fn words(&self) -> &[u64] {
-        self.words_slice()
+        crate::engine::DominationEngine::from_instance(self).solve_exact(cutoff)
     }
 }
 
@@ -258,21 +133,8 @@ mod tests {
     use super::*;
     use ncg_graph::{generators, Graph};
 
-    /// Builds the classic graph-domination instance: `covers[s]` =
-    /// closed neighbourhood of `s`.
     fn graph_instance(g: &Graph, forced: Vec<u32>) -> DominationInstance {
-        let n = g.node_count();
-        let covers = (0..n as u32)
-            .map(|s| {
-                let mut b = BitSet::new(n);
-                b.insert(s);
-                for &v in g.neighbors(s) {
-                    b.insert(v);
-                }
-                b
-            })
-            .collect();
-        DominationInstance { covers, universe: BitSet::full(n), forced }
+        DominationInstance::closed_neighborhoods(g, forced)
     }
 
     /// Brute-force minimum dominating set by subset enumeration.

@@ -6,15 +6,25 @@
 //! Gurobi ILP, Section 5.3 — see the workspace DESIGN.md §4 for the
 //! substitution argument).
 //!
-//! * [`dominating`] — the exact B&B / greedy set-cover core.
+//! * [`dominating`] — the one-shot instance type + greedy set-cover
+//!   baseline.
+//! * [`engine`] — the persistent, incremental
+//!   [`DominationEngine`](engine::DominationEngine): grows coverage
+//!   across eccentricity guesses instead of rebuilding, and owns every
+//!   scratch buffer of the branch-and-bound.
 //! * [`max_br`] — MaxNCG best response via eccentricity guessing +
-//!   domination of powers of `H ∖ {u}`.
+//!   domination of powers of `H ∖ {u}`, driving one engine per view.
 //! * [`sum_br`] — SumNCG best response (exact enumeration on small
 //!   views, hill climbing beyond — the paper's experiments avoid
 //!   SumNCG for exactly this hardness).
+//! * [`SolverScratch`] — the reusable allocation bundle (BFS buffers,
+//!   APSP orders, the engine) threaded through the `*_with` entry
+//!   points; hold one per thread or long-lived computation.
 //! * [`Responder`] — a [`ncg_core::equilibrium::BestResponder`]
 //!   dispatching on the spec's objective, in [`Mode::Exact`] or
-//!   [`Mode::Greedy`] (the ablation axis).
+//!   [`Mode::Greedy`] (the ablation axis). Owns a [`SolverScratch`],
+//!   so a responder held across a dynamics run reuses all solver
+//!   state from round to round.
 //!
 //! ## Example
 //!
@@ -34,11 +44,14 @@
 
 pub mod bitset;
 pub mod dominating;
+pub mod engine;
 pub mod max_br;
 pub mod sum_br;
 
+use ncg_core::deviation::EvalScratch;
 use ncg_core::equilibrium::{self, BestResponder, Deviation};
 use ncg_core::{GameSpec, GameState, Objective, PlayerView};
+use ncg_graph::bfs::DistanceBuffer;
 use ncg_graph::NodeId;
 
 /// Search effort: exact optimisation or the greedy/heuristic variant
@@ -52,31 +65,80 @@ pub enum Mode {
     Greedy,
 }
 
+/// Reusable allocation bundle for the best-response engines: the
+/// deviation-evaluation scratch, the BFS buffer and flattened APSP
+/// orders of the reduction, and the incremental
+/// [`DominationEngine`](engine::DominationEngine) itself.
+///
+/// One scratch per thread (or per long-lived computation); thread it
+/// through [`max_br::max_best_response_with`] /
+/// [`sum_br::sum_best_response_with`] and nothing in the per-view hot
+/// path allocates after warm-up. The plain `max_best_response` /
+/// `sum_best_response` entry points create a throwaway scratch per
+/// call.
+#[derive(Debug, Clone, Default)]
+pub struct SolverScratch {
+    pub(crate) eval: EvalScratch,
+    pub(crate) buf: DistanceBuffer,
+    /// Per-source BFS visit orders on `H ∖ {center}`, flattened; node
+    /// ids and distances in non-decreasing distance order per source.
+    pub(crate) ord_node: Vec<NodeId>,
+    pub(crate) ord_dist: Vec<u32>,
+    /// `offsets[s]..offsets[s+1]` delimits source `s` in the flat
+    /// order arrays.
+    pub(crate) offsets: Vec<usize>,
+    /// Per-source consumption cursor of the incremental coverage
+    /// growth (advances monotonically with the eccentricity guess).
+    pub(crate) cursors: Vec<usize>,
+    pub(crate) engine: engine::DominationEngine,
+}
+
+impl SolverScratch {
+    /// Fresh scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The workspace's standard [`BestResponder`]: dispatches on the
 /// spec's objective and the configured [`Mode`].
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Owns a [`SolverScratch`], so holding one responder across many
+/// best-response calls (a dynamics run, an LKE certification sweep)
+/// reuses every solver allocation between calls.
+#[derive(Debug, Clone, Default)]
 pub struct Responder {
     /// Search effort.
     pub mode: Mode,
+    scratch: SolverScratch,
 }
 
 impl Responder {
+    /// A responder with the given search effort.
+    pub fn new(mode: Mode) -> Self {
+        Responder { mode, scratch: SolverScratch::new() }
+    }
+
     /// An exact responder.
     pub fn exact() -> Self {
-        Responder { mode: Mode::Exact }
+        Self::new(Mode::Exact)
     }
 
     /// A greedy responder.
     pub fn greedy() -> Self {
-        Responder { mode: Mode::Greedy }
+        Self::new(Mode::Greedy)
     }
 }
 
 impl BestResponder for Responder {
     fn best_response(&mut self, spec: &GameSpec, view: &PlayerView) -> Deviation {
         match spec.objective {
-            Objective::Max => max_br::max_best_response(spec, view, self.mode),
-            Objective::Sum => sum_br::sum_best_response(spec, view, self.mode),
+            Objective::Max => {
+                max_br::max_best_response_with(spec, view, self.mode, &mut self.scratch)
+            }
+            Objective::Sum => {
+                sum_br::sum_best_response_with(spec, view, self.mode, &mut self.scratch)
+            }
         }
     }
 }

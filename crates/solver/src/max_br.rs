@@ -12,18 +12,26 @@
 //!    take the best `α·|σ'| + h`.
 //!
 //! The paper solved step 3 with Gurobi; we use the exact
-//! branch-and-bound of [`crate::dominating`] (see DESIGN.md §4). A
-//! greedy variant backs the ablation study.
+//! branch-and-bound of [`crate::engine`] (see DESIGN.md §4). A greedy
+//! variant backs the ablation study.
+//!
+//! Because the coverage sets of consecutive guesses are nested
+//! (`covers[s]` is the radius-`(h−1)` ball around `s`), the whole
+//! per-`h` loop drives one persistent
+//! [`DominationEngine`](crate::engine::DominationEngine): the
+//! distance-bounded per-source BFS orders are computed once, and each
+//! guess merely advances a cursor per source, feeding the new
+//! distance-`(h−1)` pairs into the engine (`DESIGN.md` §4.3). The seed
+//! implementation cloned every coverage set and rebuilt the dominator
+//! transpose at every `h`.
 
-use ncg_core::deviation::{current_total, evaluate_max, EvalScratch};
+use ncg_core::deviation::{current_total, evaluate_max};
 use ncg_core::equilibrium::Deviation;
 use ncg_core::{GameSpec, PlayerView};
-use ncg_graph::bfs::DistanceBuffer;
-use ncg_graph::{CsrGraph, NodeId, INFINITY};
+use ncg_graph::{CsrGraph, NodeId};
 
 use crate::bitset::BitSet;
-use crate::dominating::DominationInstance;
-use crate::Mode;
+use crate::{Mode, SolverScratch};
 
 /// Computes the MaxNCG best response for `view` under `spec`.
 ///
@@ -32,47 +40,53 @@ use crate::Mode;
 /// the dominating sets are greedy approximations, so the result is a
 /// valid but possibly suboptimal improving move — never worse than the
 /// current strategy.
+///
+/// Creates a throwaway [`SolverScratch`] per call; hot loops should
+/// hold one and call [`max_best_response_with`] instead.
 pub fn max_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Deviation {
+    max_best_response_with(spec, view, mode, &mut SolverScratch::new())
+}
+
+/// [`max_best_response`] with caller-provided scratch: after warm-up,
+/// repeated calls (per-round dynamics, LKE sweeps) reuse the BFS
+/// buffers, the flattened APSP orders, and the incremental domination
+/// engine across views.
+pub fn max_best_response_with(
+    spec: &GameSpec,
+    view: &PlayerView,
+    mode: Mode,
+    scratch: &mut SolverScratch,
+) -> Deviation {
     let n_local = view.len();
     let mut best =
         Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
     if n_local <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
-    // All-pairs distances in H ∖ {center}.
-    let dist = apsp_minus_center(view);
+    // Eccentricity guesses at or above the current best total cost can
+    // never win (any strategy with eccentricity h costs at least h),
+    // and eccentricities in H' never exceed |H| — so both the guess
+    // loop and the BFS sweep below are bounded by `h_cap`.
+    let h_cap = largest_useful_h(best.total_cost, n_local);
+    if h_cap == 0 {
+        return best;
+    }
+    // Distance-bounded per-source sweep of H ∖ {center}, recording the
+    // BFS visit orders: coverage growth below is pure cursor
+    // advancement over these.
+    sweep_minus_center(scratch, view, h_cap - 1);
     // Universe: every vertex except the center.
     let mut universe = BitSet::full(n_local);
     universe.remove(view.center);
-    // Incrementally grown coverage sets: at the iteration for
-    // eccentricity h, covers[s] = {v : d_{H∖u}(s,v) ≤ h−1}.
-    let mut covers: Vec<BitSet> = vec![BitSet::new(n_local); n_local];
-    let forced: Vec<u32> = view.incoming.clone();
-    let mut scratch = EvalScratch::new();
-    let h_max = n_local as u32; // eccentricities in H' never exceed |H|.
-    for h in 1..=h_max {
-        // Any strategy with eccentricity h costs at least h.
+    scratch.engine.reset(universe, &view.incoming);
+    for h in 1..=h_cap {
         if h as f64 >= best.total_cost - ncg_core::EPS {
             break;
         }
-        // Grow coverage to radius h−1: add pairs at distance exactly h−1.
-        let r = h - 1;
-        for s in 0..n_local {
-            if s == view.center as usize {
-                continue; // the center cannot be bought
-            }
-            let row = &dist[s];
-            for v in 0..n_local as u32 {
-                if v != view.center && row[v as usize] == r {
-                    covers[s].insert(v);
-                }
-            }
-        }
-        let inst = DominationInstance {
-            covers: covers.clone(),
-            universe: universe.clone(),
-            forced: forced.clone(),
-        };
+        // Grow coverage to radius h−1: feed pairs at distance exactly
+        // h−1 to the engine (each source's cursor has already consumed
+        // everything closer).
+        grow_covers_to(scratch, h - 1);
         // Only solutions with α·extra + h < best are interesting.
         let cutoff = if spec.alpha > 0.0 {
             let slack = (best.total_cost - h as f64) / spec.alpha;
@@ -85,20 +99,107 @@ pub fn max_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Devi
             usize::MAX
         };
         let solution = match mode {
-            Mode::Exact => inst.solve_exact(cutoff),
-            Mode::Greedy => inst.solve_greedy().filter(|s| s.len() < cutoff),
+            Mode::Exact => scratch.engine.solve_exact(cutoff),
+            Mode::Greedy => scratch.engine.solve_greedy().filter(|s| s.len() < cutoff),
         };
-        let Some(extra) = solution else { continue };
-        let strategy: Vec<NodeId> = extra; // already sorted, forced excluded
+        let Some(strategy) = solution else { continue };
+        // `strategy` is already sorted with forced elements excluded.
         debug_assert!(strategy.iter().all(|s| !view.incoming.contains(s)));
         // Re-evaluate exactly (the true eccentricity may be < h).
-        let eval = evaluate_max(view, &strategy, &mut scratch);
+        let eval = evaluate_max(view, &strategy, &mut scratch.eval);
         let cost = spec.total_cost(strategy.len(), eval.usage());
         if is_better(spec, &strategy, cost, &best) {
             best = Deviation { strategy_local: strategy, total_cost: cost };
         }
     }
     best
+}
+
+/// The *seed* best-response loop, kept verbatim as the reference
+/// baseline: all-pairs BFS rows, then one freshly cloned
+/// [`DominationInstance`](crate::dominating::DominationInstance) per
+/// eccentricity guess. Returns the optimal total cost only.
+///
+/// [`max_best_response`] must be cost-identical to this — the parity
+/// proptest asserts it, and the `er100_full_view_rebuild` bench
+/// measures the gap the incremental engine closes. Not for production
+/// use.
+pub fn max_best_response_cost_rebuild(spec: &GameSpec, view: &PlayerView) -> f64 {
+    use crate::dominating::DominationInstance;
+    use ncg_core::deviation::EvalScratch;
+    use ncg_graph::bfs::DistanceBuffer;
+
+    let n_local = view.len();
+    let mut best_cost = current_total(spec, view);
+    if n_local <= 1 {
+        return spec.total_cost(0, Some(0));
+    }
+    let csr = CsrGraph::from_graph(&view.graph_minus_center);
+    let mut buf = DistanceBuffer::with_capacity(n_local);
+    let dist: Vec<Vec<u32>> = (0..n_local as NodeId)
+        .map(|s| {
+            if s == view.center {
+                vec![ncg_graph::INFINITY; n_local]
+            } else {
+                csr.bfs(s, &mut buf);
+                buf.distances().to_vec()
+            }
+        })
+        .collect();
+    let mut universe = BitSet::full(n_local);
+    universe.remove(view.center);
+    let mut covers: Vec<BitSet> = vec![BitSet::new(n_local); n_local];
+    let mut scratch = EvalScratch::new();
+    for h in 1..=n_local as u32 {
+        if h as f64 >= best_cost - ncg_core::EPS {
+            break;
+        }
+        let r = h - 1;
+        for s in 0..n_local {
+            if s == view.center as usize {
+                continue;
+            }
+            for v in 0..n_local as u32 {
+                if v != view.center && dist[s][v as usize] == r {
+                    covers[s].insert(v);
+                }
+            }
+        }
+        let inst = DominationInstance {
+            covers: covers.clone(),
+            universe: universe.clone(),
+            forced: view.incoming.clone(),
+        };
+        let cutoff = if spec.alpha > 0.0 {
+            let slack = (best_cost - h as f64) / spec.alpha;
+            if slack <= 0.0 {
+                continue;
+            }
+            slack.ceil() as usize
+        } else {
+            usize::MAX
+        };
+        let Some(extra) = inst.solve_exact(cutoff) else { continue };
+        let eval = evaluate_max(view, &extra, &mut scratch);
+        let cost = spec.total_cost(extra.len(), eval.usage());
+        if GameSpec::strictly_better(cost, best_cost) {
+            best_cost = cost;
+        }
+    }
+    best_cost
+}
+
+/// Largest `h` the guess loop can enter: `h < total_cost − ε`, capped
+/// by the view size.
+fn largest_useful_h(total_cost: f64, n_local: usize) -> u32 {
+    let m = (total_cost - ncg_core::EPS).ceil() - 1.0;
+    if m <= 0.0 {
+        0
+    } else if m >= n_local as f64 {
+        n_local as u32
+    } else {
+        m as u32
+    }
 }
 
 fn is_better(_spec: &GameSpec, strategy: &[NodeId], cost: f64, best: &Deviation) -> bool {
@@ -109,25 +210,50 @@ fn is_better(_spec: &GameSpec, strategy: &[NodeId], cost: f64, best: &Deviation)
                     && *strategy < best.strategy_local[..])))
 }
 
-/// All-pairs BFS on `view.graph_minus_center`; row `center` is unused.
+/// Bounded per-source BFS on `view.graph_minus_center`, recording each
+/// source's visit order (non-decreasing distance) into the scratch's
+/// flat arrays. The center is skipped as a source (it cannot be
+/// bought) and never appears as a target (it is detached in
+/// `H ∖ {center}`).
 ///
-/// Runs on a frozen [`CsrGraph`]: the reduction sweeps the whole
-/// adjacency once per source, which is exactly the access pattern the
-/// contiguous layout is for (see `ncg_graph::csr`).
-fn apsp_minus_center(view: &PlayerView) -> Vec<Vec<u32>> {
+/// Runs on a frozen [`CsrGraph`] through the same batched frontier
+/// kernel as view extraction (`ncg_graph::bfs`): the reduction sweeps
+/// the whole adjacency once per source, which is exactly the access
+/// pattern the contiguous layout is for.
+fn sweep_minus_center(scratch: &mut SolverScratch, view: &PlayerView, limit: u32) {
     let n = view.len();
     let csr = CsrGraph::from_graph(&view.graph_minus_center);
-    let mut buf = DistanceBuffer::with_capacity(n);
-    (0..n as NodeId)
-        .map(|s| {
-            if s == view.center {
-                vec![INFINITY; n]
-            } else {
-                csr.bfs(s, &mut buf);
-                buf.distances().to_vec()
+    scratch.ord_node.clear();
+    scratch.ord_dist.clear();
+    scratch.offsets.clear();
+    scratch.offsets.push(0);
+    for s in 0..n as NodeId {
+        if s != view.center {
+            csr.bfs_bounded(s, limit, &mut scratch.buf);
+            for &v in scratch.buf.visited() {
+                scratch.ord_node.push(v);
+                scratch.ord_dist.push(scratch.buf.dist(v));
             }
-        })
-        .collect()
+        }
+        scratch.offsets.push(scratch.ord_node.len());
+    }
+    scratch.cursors.clear();
+    scratch.cursors.extend_from_slice(&scratch.offsets[..n]);
+}
+
+/// Advances every source cursor through pairs at distance `≤ r`,
+/// feeding them to the engine. Monotone: call with increasing `r`.
+fn grow_covers_to(scratch: &mut SolverScratch, r: u32) {
+    let n = scratch.offsets.len() - 1;
+    for s in 0..n {
+        let end = scratch.offsets[s + 1];
+        let mut c = scratch.cursors[s];
+        while c < end && scratch.ord_dist[c] <= r {
+            scratch.engine.add_pair(s as u32, scratch.ord_node[c]);
+            c += 1;
+        }
+        scratch.cursors[s] = c;
+    }
 }
 
 #[cfg(test)]

@@ -15,11 +15,11 @@
 //! [`ncg_core::deviation::evaluate_sum`].
 
 use ncg_core::deviation::{current_total, evaluate_total, EvalScratch};
-use ncg_core::equilibrium::{best_response_exhaustive, Deviation};
+use ncg_core::equilibrium::{best_response_exhaustive_with, Deviation};
 use ncg_core::{GameSpec, PlayerView};
 use ncg_graph::NodeId;
 
-use crate::Mode;
+use crate::{Mode, SolverScratch};
 
 /// Candidate cap for the exact enumeration path (`2^14` evaluations —
 /// a few milliseconds). Views beyond this fall back to hill climbing
@@ -30,28 +30,42 @@ pub const SUM_EXACT_CAP: usize = 14;
 /// Computes a SumNCG best response: exact when the view is small
 /// enough to enumerate (and `mode` is [`Mode::Exact`]), hill climbing
 /// otherwise. Never returns something worse than the current strategy.
+///
+/// Creates a throwaway [`SolverScratch`] per call; hot loops should
+/// hold one and call [`sum_best_response_with`] instead.
 pub fn sum_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Deviation {
+    sum_best_response_with(spec, view, mode, &mut SolverScratch::new())
+}
+
+/// [`sum_best_response`] with caller-provided scratch — the
+/// multi-source BFS buffers of every candidate evaluation are reused
+/// across calls.
+pub fn sum_best_response_with(
+    spec: &GameSpec,
+    view: &PlayerView,
+    mode: Mode,
+    scratch: &mut SolverScratch,
+) -> Deviation {
     if view.len() <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
     if mode == Mode::Exact && view.candidates().len() <= SUM_EXACT_CAP {
-        return best_response_exhaustive(spec, view)
+        return best_response_exhaustive_with(spec, view, &mut scratch.eval)
             .expect("candidate count checked against the cap");
     }
-    hill_climb(spec, view)
+    hill_climb(spec, view, &mut scratch.eval)
 }
 
 /// Deterministic steepest-descent local search over single
 /// additions, removals and swaps.
-fn hill_climb(spec: &GameSpec, view: &PlayerView) -> Deviation {
-    let mut scratch = EvalScratch::new();
+fn hill_climb(spec: &GameSpec, view: &PlayerView, scratch: &mut EvalScratch) -> Deviation {
     let candidates = view.candidates();
     let mut current = view.purchases.clone();
     let mut current_cost = current_total(spec, view);
     // The empty strategy is a useful second seed: when the player's
     // incoming edges alone keep the view connected, the hill climb can
     // otherwise be stuck paying for redundant purchases.
-    let empty_cost = evaluate_total(spec, view, &[], &mut scratch);
+    let empty_cost = evaluate_total(spec, view, &[], scratch);
     if GameSpec::strictly_better(empty_cost, current_cost) {
         current = Vec::new();
         current_cost = empty_cost;
@@ -78,14 +92,14 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView) -> Deviation {
                 let mut s = current.clone();
                 let pos = s.binary_search(&c).unwrap_err();
                 s.insert(pos, c);
-                consider(s, &mut scratch);
+                consider(s, scratch);
             }
         }
         // Removals.
         for i in 0..current.len() {
             let mut s = current.clone();
             s.remove(i);
-            consider(s, &mut scratch);
+            consider(s, scratch);
         }
         // Swaps: drop one purchase, add one non-purchase.
         for i in 0..current.len() {
@@ -95,7 +109,7 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView) -> Deviation {
                     s.remove(i);
                     let pos = s.binary_search(&c).unwrap_err();
                     s.insert(pos, c);
-                    consider(s, &mut scratch);
+                    consider(s, scratch);
                 }
             }
         }
@@ -113,6 +127,7 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView) -> Deviation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ncg_core::equilibrium::best_response_exhaustive;
     use ncg_core::GameState;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,43 @@
+//! Tier-1-safe performance smoke test for the exact branch-and-bound.
+//!
+//! Guards the `substrates/dominating_set/exact_bnb` speed-up (the
+//! incremental engine's bounds; see `DESIGN.md` §4): a fixed mid-size
+//! `G(n, p)` graph-domination instance must solve well under a
+//! generous wall-clock cap even in unoptimised debug builds. The seed
+//! branch-and-bound spends *minutes* on this instance in release
+//! mode, so a regression to seed behaviour trips the cap by orders of
+//! magnitude, while CI noise cannot.
+
+use ncg_solver::bitset::BitSet;
+use ncg_solver::dominating::DominationInstance;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+fn graph_instance(n: usize, p: f64, seed: u64) -> DominationInstance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = ncg_graph::generators::gnp_connected(n, p, 1000, &mut rng).unwrap();
+    DominationInstance::closed_neighborhoods(&g, vec![])
+}
+
+#[test]
+fn exact_bnb_mid_size_instance_is_fast() {
+    // Same generator family and seed discipline as the criterion
+    // bench; sized so the optimised solver finishes in well under a
+    // second in debug while the seed algorithm would not.
+    let inst = graph_instance(100, 0.08, 6);
+    let start = Instant::now();
+    let solution = inst.solve_exact(usize::MAX).expect("connected instance is feasible");
+    let elapsed = start.elapsed();
+    // Sanity: the result is a real dominating set.
+    let mut covered = BitSet::new(inst.n());
+    for &s in &solution {
+        covered.union_with(&inst.covers[s as usize]);
+    }
+    assert!(covered.is_superset(&inst.universe));
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "exact B&B took {elapsed:?} on the mid-size smoke instance — \
+         bound regression? (expected well under a second)"
+    );
+}

@@ -1,11 +1,13 @@
 //! Property-based tests for the solver crate: the bitset, the
-//! dominating-set branch-and-bound, and the best-response reduction.
+//! dominating-set branch-and-bound, the incremental engine, and the
+//! best-response reduction.
 
+use ncg_core::equilibrium::best_response_exhaustive;
 use ncg_core::{GameSpec, GameState, PlayerView};
 use ncg_graph::NodeId;
 use ncg_solver::bitset::BitSet;
 use ncg_solver::dominating::DominationInstance;
-use ncg_solver::{max_br, Mode};
+use ncg_solver::{max_br, Mode, SolverScratch};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -115,6 +117,43 @@ proptest! {
             covered.union_with(&inst.covers[s as usize]);
         }
         prop_assert!(covered.is_superset(&inst.universe));
+    }
+
+    /// The incremental engine's best responses are cost-identical to
+    /// the seed per-`h` rebuild, and (on small views) to exhaustive
+    /// subset enumeration — the end-to-end parity contract of the
+    /// engine rearchitecture.
+    #[test]
+    fn incremental_engine_matches_rebuild_and_brute_force(
+        seed in 0u64..300,
+        k in 1u32..5,
+        alpha in 0.05f64..6.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(14, 0.2, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::max(alpha, k);
+        let mut scratch = SolverScratch::new();
+        for u in (0..state.n() as NodeId).step_by(3) {
+            let view = PlayerView::build(&state, u, k);
+            let incremental =
+                max_br::max_best_response_with(&spec, &view, Mode::Exact, &mut scratch);
+            let rebuild_cost = max_br::max_best_response_cost_rebuild(&spec, &view);
+            prop_assert!(
+                (incremental.total_cost - rebuild_cost).abs() < 1e-9,
+                "u={u}: engine {} vs rebuild {rebuild_cost}",
+                incremental.total_cost,
+            );
+            if view.candidates().len() <= 14 {
+                let brute = best_response_exhaustive(&spec, &view).unwrap();
+                prop_assert!(
+                    (incremental.total_cost - brute.total_cost).abs() < 1e-9,
+                    "u={u}: engine {} vs brute {}",
+                    incremental.total_cost,
+                    brute.total_cost,
+                );
+            }
+        }
     }
 
     /// The MaxNCG best response is stable under irrelevant graph
