@@ -93,16 +93,16 @@ pub fn best_response_exhaustive_with(
     view: &PlayerView,
     scratch: &mut EvalScratch,
 ) -> Result<Deviation, TooLarge> {
-    let candidates = view.candidates();
-    if candidates.len() > EXHAUSTIVE_CAP {
-        return Err(TooLarge { candidates: candidates.len(), cap: EXHAUSTIVE_CAP });
+    let candidates = view.candidate_count();
+    if candidates > EXHAUSTIVE_CAP {
+        return Err(TooLarge { candidates, cap: EXHAUSTIVE_CAP });
     }
     let mut best =
         Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
-    let mut strat: Vec<NodeId> = Vec::with_capacity(candidates.len());
-    for mask in 0u32..(1u32 << candidates.len()) {
+    let mut strat: Vec<NodeId> = Vec::with_capacity(candidates);
+    for mask in 0u32..(1u32 << candidates) {
         strat.clear();
-        for (i, &c) in candidates.iter().enumerate() {
+        for (i, c) in view.candidates_iter().enumerate() {
             if mask & (1 << i) != 0 {
                 strat.push(c);
             }

@@ -55,8 +55,8 @@ mod state;
 pub mod view;
 
 pub use spec::{GameSpec, Objective, EPS};
-pub use state::GameState;
-pub use view::PlayerView;
+pub use state::{EdgeDiff, GameState};
+pub use view::{PlayerView, ViewScratch};
 
 /// Re-exported graph substrate, so downstream crates can name graph
 /// types without an explicit `ncg-graph` dependency.
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::deviation::{self, DeviationEval};
     pub use crate::equilibrium::{self, BestResponder, Deviation};
     pub use crate::social;
-    pub use crate::view::PlayerView;
-    pub use crate::{GameSpec, GameState, Objective, EPS};
+    pub use crate::view::{PlayerView, ViewScratch};
+    pub use crate::{EdgeDiff, GameSpec, GameState, Objective, EPS};
     pub use ncg_graph::prelude::*;
 }

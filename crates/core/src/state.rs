@@ -2,6 +2,46 @@ use ncg_graph::{Graph, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// What one [`GameState::set_strategy`] call actually changed, in
+/// terms the incremental machinery downstream cares about: which graph
+/// edges appeared or disappeared, and which targets kept their edge
+/// but saw its *ownership* flip (double-bought transitions, which
+/// change `incoming(target)` without touching the graph).
+///
+/// The dynamics view cache seeds its dirty-ball BFS from
+/// [`EdgeDiff::touched`] — the mover plus every endpoint listed here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeDiff {
+    /// The player whose strategy changed.
+    pub player: NodeId,
+    /// Targets `w` for which the graph edge `(player, w)` was created.
+    pub added: Vec<NodeId>,
+    /// Targets `w` for which the graph edge `(player, w)` was deleted.
+    pub removed: Vec<NodeId>,
+    /// Targets whose edge survived but whose incoming-ownership set
+    /// changed (the other endpoint also owns the edge).
+    pub ownership: Vec<NodeId>,
+    /// Whether the purchase list itself changed at all (`false` means
+    /// the new strategy normalised to the old one — a no-op move).
+    pub changed: bool,
+}
+
+impl EdgeDiff {
+    /// Every endpoint whose local picture may have changed: the mover
+    /// and all targets in the strategy's symmetric difference.
+    pub fn touched(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.player)
+            .chain(self.added.iter().copied())
+            .chain(self.removed.iter().copied())
+            .chain(self.ownership.iter().copied())
+    }
+
+    /// Whether the move was a strategic no-op.
+    pub fn is_noop(&self) -> bool {
+        !self.changed
+    }
+}
+
 /// A strategy profile together with the graph it induces.
 ///
 /// `strategies[u]` is the sorted list of nodes player `u` buys edges
@@ -149,7 +189,17 @@ impl GameState {
     /// The players that bought an edge *towards* `u` (her in-neighbours
     /// in the ownership digraph). These edges survive any move by `u`.
     pub fn incoming(&self, u: NodeId) -> Vec<NodeId> {
-        self.graph.neighbors(u).iter().copied().filter(|&v| self.owns(v, u)).collect()
+        let mut out = Vec::new();
+        self.incoming_into(u, &mut out);
+        out
+    }
+
+    /// [`GameState::incoming`] written into caller scratch (sorted,
+    /// cleared first) — the allocation-free flavour the view rebuild
+    /// path uses.
+    pub fn incoming_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.graph.neighbors(u).iter().copied().filter(|&v| self.owns(v, u)));
     }
 
     /// Maximum `|σ_u|` over all players (the paper's "max bought
@@ -164,16 +214,20 @@ impl GameState {
         self.strategies.iter().map(Vec::len).sum()
     }
 
-    /// Replaces `σ_u` with `new_strategy`, updating the graph.
+    /// Replaces `σ_u` with `new_strategy`, updating the graph, and
+    /// returns an [`EdgeDiff`] describing exactly which endpoints were
+    /// touched (consumed by the dynamics view cache to bound its
+    /// invalidation BFS).
     ///
     /// Removed purchases only delete a graph edge if the other
     /// endpoint does not also own it; added purchases only create an
-    /// edge if not already present.
+    /// edge if not already present. Either case of graph no-op is an
+    /// *ownership* change in the diff.
     ///
     /// # Panics
     /// Panics if the strategy mentions out-of-range nodes or `u`
     /// herself.
-    pub fn set_strategy(&mut self, u: NodeId, mut new_strategy: Vec<NodeId>) {
+    pub fn set_strategy(&mut self, u: NodeId, mut new_strategy: Vec<NodeId>) -> EdgeDiff {
         new_strategy.sort_unstable();
         new_strategy.dedup();
         for &v in &new_strategy {
@@ -181,17 +235,34 @@ impl GameState {
             assert_ne!(v, u, "player {u} cannot buy an edge to herself");
         }
         let old = std::mem::take(&mut self.strategies[u as usize]);
-        // Edges dropped by u stay iff the other endpoint owns them too.
+        let mut diff = EdgeDiff { player: u, ..EdgeDiff::default() };
+        // Edges dropped by u stay iff the other endpoint owns them too
+        // (then only v's incoming-ownership of the edge changes).
         for &v in &old {
-            if new_strategy.binary_search(&v).is_err() && !self.owns(v, u) {
-                self.graph.remove_edge(u, v);
+            if new_strategy.binary_search(&v).is_err() {
+                if self.owns(v, u) {
+                    diff.ownership.push(v);
+                } else {
+                    self.graph.remove_edge(u, v);
+                    diff.removed.push(v);
+                }
             }
         }
         for &v in &new_strategy {
-            self.graph.add_edge(u, v); // no-op if already present
+            if old.binary_search(&v).is_err() {
+                if self.graph.add_edge(u, v) {
+                    diff.added.push(v);
+                } else {
+                    // Edge already present: v owns it too, so only the
+                    // incoming set of v gains u.
+                    diff.ownership.push(v);
+                }
+            }
         }
+        diff.changed = old != new_strategy;
         self.strategies[u as usize] = new_strategy;
         debug_assert!(self.validate().is_ok());
+        diff
     }
 
     /// Exhaustive consistency check between strategies and graph.
@@ -275,6 +346,50 @@ mod tests {
         s.set_strategy(0, vec![3, 1]);
         assert_eq!(s.strategy(0), &[1, 3]);
         assert_eq!(s.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_diff_reports_added_removed_and_ownership() {
+        // 0 and 1 both own (0,1); 0 also owns (0,2).
+        let mut s = GameState::from_strategies(4, vec![vec![1, 2], vec![0], vec![], vec![]]);
+        // 0 drops both purchases and buys 3: (0,2) is a real removal,
+        // (0,1) survives via 1's ownership (ownership change), (0,3)
+        // is a real addition.
+        let diff = s.set_strategy(0, vec![3]);
+        assert_eq!(diff.player, 0);
+        assert_eq!(diff.added, vec![3]);
+        assert_eq!(diff.removed, vec![2]);
+        assert_eq!(diff.ownership, vec![1]);
+        assert!(diff.changed);
+        let touched: Vec<NodeId> = diff.touched().collect();
+        assert_eq!(touched, vec![0, 3, 2, 1]);
+        // Re-buying an edge the other endpoint owns is ownership-only.
+        let diff = s.set_strategy(0, vec![1, 3]);
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert_eq!(diff.ownership, vec![1]);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn edge_diff_noop_move_is_flagged() {
+        let mut s = GameState::from_strategies(3, vec![vec![1], vec![2], vec![]]);
+        let diff = s.set_strategy(0, vec![1, 1]); // normalises to current
+        assert!(diff.is_noop());
+        assert!(diff.added.is_empty() && diff.removed.is_empty() && diff.ownership.is_empty());
+        let diff = s.set_strategy(0, vec![2]);
+        assert!(!diff.is_noop());
+        assert_eq!(diff.added, vec![2]);
+        assert_eq!(diff.removed, vec![1]);
+    }
+
+    #[test]
+    fn incoming_into_matches_incoming() {
+        let s = GameState::from_strategies(4, vec![vec![1], vec![0, 2], vec![], vec![2]]);
+        let mut buf = vec![99];
+        for u in 0..4 {
+            s.incoming_into(u, &mut buf);
+            assert_eq!(buf, s.incoming(u));
+        }
     }
 
     #[test]

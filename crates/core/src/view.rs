@@ -6,17 +6,43 @@
 //! the center-to-node distances, and — precomputed because every
 //! candidate evaluation needs it — the graph `H ∖ {center}`.
 
-use ncg_graph::view::{view_subgraph, Subgraph};
-use ncg_graph::{NodeId, INFINITY};
+use ncg_graph::bfs::DistanceBuffer;
+use ncg_graph::view::{view_subgraph_into, Subgraph};
+use ncg_graph::{Graph, NodeId, INFINITY};
 
 use crate::GameState;
+
+/// Reusable workspace for building [`PlayerView`]s: the BFS buffer and
+/// the ball scratch of the subgraph extraction.
+///
+/// One per thread (the dynamics view cache owns one); threading it
+/// through [`PlayerView::build_with`] / [`PlayerView::rebuild`] makes
+/// view (re)construction allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct ViewScratch {
+    buf: DistanceBuffer,
+    ball: Vec<NodeId>,
+    globals: Vec<NodeId>,
+}
+
+impl ViewScratch {
+    /// Fresh scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Everything player `u` knows at radius `k`, in local coordinates.
 ///
 /// Local ids are dense `0..len()`; [`PlayerView::sub`] holds the
 /// local↔global mapping. All strategy-like fields (`purchases`,
 /// `incoming`) are sorted local ids.
-#[derive(Debug, Clone)]
+///
+/// Equality is field-for-field — two views compare equal iff they are
+/// observationally identical, which is what the incremental view cache
+/// relies on (a clean player's cached view *is* the view a fresh
+/// [`PlayerView::build`] would produce).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlayerView {
     /// The induced ball subgraph `H` with its id mapping.
     pub sub: Subgraph,
@@ -47,39 +73,61 @@ impl PlayerView {
     /// # Panics
     /// Panics if `u` is out of range.
     pub fn build(state: &GameState, u: NodeId, k: u32) -> Self {
-        let sub = view_subgraph(state.graph(), u, k);
-        let center = sub.to_local(u).expect("center is always inside her own ball");
-        let to_local = |globals: &[NodeId]| -> Vec<NodeId> {
-            let mut locals: Vec<NodeId> = globals
-                .iter()
-                .map(|&g| {
-                    sub.to_local(g).expect("distance-1 neighbours are always inside the ball")
-                })
-                .collect();
-            locals.sort_unstable();
-            locals
-        };
-        let purchases = to_local(state.strategy(u));
-        let incoming = to_local(&state.incoming(u));
-        let mut buf = ncg_graph::bfs::DistanceBuffer::with_capacity(sub.len());
-        ncg_graph::bfs::bfs(&sub.graph, center, &mut buf);
-        let dist = buf.distances().to_vec();
-        debug_assert!(
-            dist.iter().all(|&d| d != INFINITY),
-            "every node of the ball must be reachable from its center"
-        );
-        let mut graph_minus_center = sub.graph.clone();
-        graph_minus_center.detach_node(center);
-        PlayerView {
-            sub,
-            center,
+        Self::build_with(state, u, k, &mut ViewScratch::new())
+    }
+
+    /// [`PlayerView::build`] with caller-provided scratch, for hot
+    /// loops that build many views.
+    pub fn build_with(state: &GameState, u: NodeId, k: u32, scratch: &mut ViewScratch) -> Self {
+        let mut view = PlayerView {
+            sub: Subgraph { graph: Graph::new(0), local_to_global: Vec::new() },
+            center: 0,
             center_global: u,
             k,
-            purchases,
-            incoming,
-            dist,
-            graph_minus_center,
-        }
+            purchases: Vec::new(),
+            incoming: Vec::new(),
+            dist: Vec::new(),
+            graph_minus_center: Graph::new(0),
+        };
+        view.rebuild(state, u, k, scratch);
+        view
+    }
+
+    /// Overwrites this view with the view of player `u` at radius `k`
+    /// in the current state, reusing every allocation the old contents
+    /// held (subgraph, adjacency lists, distance and strategy
+    /// buffers). The result is field-for-field identical to a fresh
+    /// [`PlayerView::build`] — the incremental dynamics engine's
+    /// refresh path, property-tested in `ncg-dynamics`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn rebuild(&mut self, state: &GameState, u: NodeId, k: u32, scratch: &mut ViewScratch) {
+        view_subgraph_into(state.graph(), u, k, &mut scratch.buf, &mut scratch.ball, &mut self.sub);
+        let sub = &self.sub;
+        let center = sub.to_local(u).expect("center is always inside her own ball");
+        let to_local = |globals: &[NodeId], out: &mut Vec<NodeId>| {
+            out.clear();
+            out.extend(globals.iter().map(|&g| {
+                sub.to_local(g).expect("distance-1 neighbours are always inside the ball")
+            }));
+            out.sort_unstable();
+        };
+        to_local(state.strategy(u), &mut self.purchases);
+        state.incoming_into(u, &mut scratch.globals);
+        to_local(&scratch.globals, &mut self.incoming);
+        ncg_graph::bfs::bfs(&sub.graph, center, &mut scratch.buf);
+        self.dist.clear();
+        self.dist.extend_from_slice(scratch.buf.distances());
+        debug_assert!(
+            self.dist.iter().all(|&d| d != INFINITY),
+            "every node of the ball must be reachable from its center"
+        );
+        self.graph_minus_center.copy_from(&sub.graph);
+        self.graph_minus_center.detach_node(center);
+        self.center = center;
+        self.center_global = u;
+        self.k = k;
     }
 
     /// Number of nodes the player sees (including herself) — the
@@ -97,15 +145,38 @@ impl PlayerView {
 
     /// The frontier `F`: local ids at distance exactly `k` — the
     /// vertices whose distance a SumNCG player must never increase
-    /// beyond `k` (Proposition 2.2).
+    /// beyond `k` (Proposition 2.2). Allocates; single-pass consumers
+    /// should prefer [`PlayerView::frontier_iter`].
     pub fn frontier(&self) -> Vec<NodeId> {
-        (0..self.len() as NodeId).filter(|&v| self.dist[v as usize] == self.k).collect()
+        self.frontier_iter().collect()
+    }
+
+    /// Allocation-free iterator over the frontier (local ids at
+    /// distance exactly `k`, ascending).
+    pub fn frontier_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as NodeId).filter(|&v| self.dist[v as usize] == self.k)
     }
 
     /// All legal purchase targets: every visible node except the
     /// player herself (the strategy space of the local game).
+    /// Allocates; single-pass consumers should prefer
+    /// [`PlayerView::candidates_iter`].
     pub fn candidates(&self) -> Vec<NodeId> {
-        (0..self.len() as NodeId).filter(|&v| v != self.center).collect()
+        self.candidates_iter().collect()
+    }
+
+    /// Allocation-free iterator over the purchase candidates (every
+    /// visible node except the center, ascending).
+    pub fn candidates_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let center = self.center;
+        (0..self.len() as NodeId).filter(move |&v| v != center)
+    }
+
+    /// Number of purchase candidates, `len() − 1` (0 for the isolated
+    /// player), without materialising them.
+    #[inline]
+    pub fn candidate_count(&self) -> usize {
+        self.len().saturating_sub(1)
     }
 
     /// The player's current eccentricity *within the view*, i.e. the
@@ -215,6 +286,38 @@ mod tests {
         for g in &globals {
             assert!(v.sub.to_local(*g).is_some());
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_field_for_field() {
+        let mut s = GameState::cycle_successor(10);
+        let mut scratch = ViewScratch::new();
+        // Start from one player's view, then retarget the same
+        // allocation across players, radii, and a state mutation.
+        let mut v = PlayerView::build_with(&s, 0, 2, &mut scratch);
+        for k in [1u32, 3, 100] {
+            for u in 0..10 {
+                v.rebuild(&s, u, k, &mut scratch);
+                assert_eq!(v, PlayerView::build(&s, u, k), "u={u} k={k}");
+            }
+        }
+        s.set_strategy(3, vec![7]);
+        for u in 0..10 {
+            v.rebuild(&s, u, 2, &mut scratch);
+            assert_eq!(v, PlayerView::build(&s, u, 2), "post-move u={u}");
+        }
+    }
+
+    #[test]
+    fn iterator_accessors_match_vec_accessors() {
+        let s = path_state(9);
+        let v = PlayerView::build(&s, 4, 2);
+        assert_eq!(v.frontier_iter().collect::<Vec<_>>(), v.frontier());
+        assert_eq!(v.candidates_iter().collect::<Vec<_>>(), v.candidates());
+        assert_eq!(v.candidate_count(), v.candidates().len());
+        let isolated = PlayerView::build(&GameState::new(3), 1, 5);
+        assert_eq!(isolated.candidate_count(), 0);
+        assert_eq!(isolated.candidates_iter().count(), 0);
     }
 
     #[test]

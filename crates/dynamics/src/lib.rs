@@ -16,7 +16,10 @@
 //!
 //! * [`run`] — one dynamics from a given initial
 //!   [`GameState`](ncg_core::GameState); deterministic (round-robin
-//!   order, deterministic solver).
+//!   order, deterministic solver). Incremental by default: a
+//!   [`ViewCache`] reuses player views across rounds and skips players
+//!   whose radius-`k` ball provably did not change (see DESIGN.md §6);
+//!   outcomes are bit-identical with the cache on or off.
 //! * [`run_many`] — rayon-parallel batch over independent initial
 //!   states, results in input order.
 //! * [`StateMetrics`] — the per-network statistics the paper collects
@@ -38,10 +41,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fingerprint;
 mod metrics;
 mod runner;
 mod trace;
+mod view_cache;
 
+pub use fingerprint::CycleDetector;
 pub use metrics::StateMetrics;
 pub use runner::{run, run_many, run_with, DynamicsConfig, Outcome, RunResult};
 pub use trace::{MoveEvent, Trace};
+pub use view_cache::{CacheStats, ViewCache};

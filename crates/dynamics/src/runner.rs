@@ -1,6 +1,15 @@
 //! The round-robin best-response loop with cycle detection.
-
-use std::collections::HashMap;
+//!
+//! The loop is *incremental* by default: a [`ViewCache`] keeps all `n`
+//! player views alive across rounds and invalidates only the players
+//! whose radius-`k` ball can have changed after a move, so clean
+//! players skip view construction **and** the solver call entirely —
+//! their best response is unchanged by determinism. Late rounds (and
+//! the final quiet round that certifies the equilibrium) then cost
+//! `O(moved players' balls)` instead of `O(n·m)`. Outcomes are
+//! bit-identical with the cache on and off (property-tested); the
+//! cache can be disabled per run with
+//! [`DynamicsConfig::without_view_cache`] for A/B benchmarking.
 
 use ncg_core::deviation::current_total;
 use ncg_core::equilibrium::BestResponder;
@@ -9,6 +18,8 @@ use ncg_solver::{Mode, Responder};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::fingerprint::CycleDetector;
+use crate::view_cache::{CacheStats, ViewCache};
 use crate::StateMetrics;
 
 /// Configuration of one dynamics run.
@@ -27,11 +38,16 @@ pub struct DynamicsConfig {
     pub per_round_metrics: bool,
     /// Record a move-level [`Trace`](crate::Trace) (off by default).
     pub record_trace: bool,
+    /// Reuse player views across rounds and skip provably-unchanged
+    /// players (on by default; results are identical either way, the
+    /// flag exists for A/B benchmarks and belt-and-braces parity
+    /// tests).
+    pub use_view_cache: bool,
 }
 
 impl DynamicsConfig {
     /// Defaults: exact responses, 200-round cap, no per-round metrics,
-    /// no trace.
+    /// no trace, incremental view cache on.
     pub fn new(spec: GameSpec) -> Self {
         DynamicsConfig {
             spec,
@@ -39,6 +55,7 @@ impl DynamicsConfig {
             max_rounds: 200,
             per_round_metrics: false,
             record_trace: false,
+            use_view_cache: true,
         }
     }
 
@@ -57,6 +74,14 @@ impl DynamicsConfig {
     /// Enables the move-level event log.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Disables the incremental view cache: every round rebuilds every
+    /// view and re-solves every player, as the seed implementation
+    /// did. Outcomes are identical; only the work differs.
+    pub fn without_view_cache(mut self) -> Self {
+        self.use_view_cache = false;
         self
     }
 }
@@ -80,13 +105,27 @@ pub enum Outcome {
         repeated_at: usize,
     },
     /// The safety cap was hit without convergence or a detected cycle.
-    MaxRoundsExceeded,
+    MaxRoundsExceeded {
+        /// Rounds actually executed (the configured cap).
+        rounds: usize,
+    },
 }
 
 impl Outcome {
     /// Whether the run reached an equilibrium.
     pub fn converged(&self) -> bool {
         matches!(self, Outcome::Converged { .. })
+    }
+
+    /// Rounds executed, whatever the terminal condition: the quiet
+    /// round for convergence, the detection round for cycles, the cap
+    /// for capped runs.
+    pub fn rounds(&self) -> usize {
+        match *self {
+            Outcome::Converged { rounds } => rounds,
+            Outcome::Cycled { repeated_at, .. } => repeated_at,
+            Outcome::MaxRoundsExceeded { rounds } => rounds,
+        }
     }
 }
 
@@ -99,6 +138,13 @@ pub struct RunResult {
     pub state: GameState,
     /// Total accepted strategy changes across all rounds.
     pub total_moves: usize,
+    /// Best-response solver invocations across the run — with the view
+    /// cache this is how skipping is measured (`≤ n · rounds`, with
+    /// equality exactly when nothing was skippable).
+    pub solver_calls: usize,
+    /// View-cache rebuild/skip counters (`None` when the cache was
+    /// disabled).
+    pub cache_stats: Option<CacheStats>,
     /// Metrics of the final state.
     pub final_metrics: StateMetrics,
     /// Per-round snapshots if requested in the config.
@@ -117,7 +163,10 @@ pub fn run(initial: GameState, config: &DynamicsConfig) -> RunResult {
 /// Like [`run`], but with a caller-provided best-response engine —
 /// any [`BestResponder`], including closures. The engine must be
 /// deterministic for the cycle detection to be sound (a repeated
-/// end-of-round profile then proves periodicity).
+/// end-of-round profile then proves periodicity) **and** for the view
+/// cache's clean-player skip to be sound (an unchanged view must
+/// yield an unchanged response); internal scratch reuse is fine, a
+/// response depending on anything but `(spec, view)` is not.
 pub fn run_with<B: BestResponder>(
     initial: GameState,
     config: &DynamicsConfig,
@@ -126,21 +175,36 @@ pub fn run_with<B: BestResponder>(
     let mut state = initial;
     let spec = config.spec;
     let n = state.n();
-    let mut seen: HashMap<Vec<Vec<u32>>, usize> = HashMap::new();
+    let mut detector = CycleDetector::new(&state);
+    let mut cache = config.use_view_cache.then(|| ViewCache::new(n, spec.k));
     let mut total_moves = 0usize;
+    let mut solver_calls = 0usize;
     let mut round_metrics = Vec::new();
     let mut trace = if config.record_trace { Some(crate::Trace::new()) } else { None };
-    let profile_of = |state: &GameState| -> Vec<Vec<u32>> {
-        (0..n as u32).map(|u| state.strategy(u).to_vec()).collect()
-    };
-    seen.insert(profile_of(&state), 0);
-    let mut outcome = Outcome::MaxRoundsExceeded;
+    let mut outcome = Outcome::MaxRoundsExceeded { rounds: config.max_rounds };
     for round in 1..=config.max_rounds {
         let mut moves_this_round = 0usize;
         for u in 0..n as u32 {
-            let view = PlayerView::build(&state, u, spec.k);
-            let current = current_total(&spec, &view);
-            let best = responder.best_response(&spec, &view);
+            if let Some(cache) = cache.as_mut() {
+                if cache.is_clean(u) {
+                    // Nothing in u's ball changed since she was last
+                    // solved without finding an improvement; by
+                    // determinism she would stand pat again.
+                    cache.note_skip();
+                    continue;
+                }
+            }
+            let fresh;
+            let view: &PlayerView = match cache.as_mut() {
+                Some(cache) => cache.refresh(&state, u),
+                None => {
+                    fresh = PlayerView::build(&state, u, spec.k);
+                    &fresh
+                }
+            };
+            let current = current_total(&spec, view);
+            solver_calls += 1;
+            let best = responder.best_response(&spec, view);
             if GameSpec::strictly_better(best.total_cost, current) {
                 let global = view.strategy_to_global(&best.strategy_local);
                 if let Some(trace) = trace.as_mut() {
@@ -154,7 +218,16 @@ pub fn run_with<B: BestResponder>(
                         view_size: view.len(),
                     });
                 }
-                state.set_strategy(u, global);
+                let old = state.strategy(u).to_vec();
+                match cache.as_mut() {
+                    Some(cache) => {
+                        cache.apply_move(&mut state, u, global);
+                    }
+                    None => {
+                        state.set_strategy(u, global);
+                    }
+                }
+                detector.record_move(round, u, &old, state.strategy(u));
                 moves_this_round += 1;
             }
         }
@@ -168,15 +241,22 @@ pub fn run_with<B: BestResponder>(
         }
         // Round-robin + deterministic responses ⇒ a repeated
         // end-of-round profile proves a best-response cycle.
-        let profile = profile_of(&state);
-        if let Some(&first_seen) = seen.get(&profile) {
+        if let Some(first_seen) = detector.check_round(round, &state) {
             outcome = Outcome::Cycled { first_seen, repeated_at: round };
             break;
         }
-        seen.insert(profile, round);
     }
     let final_metrics = StateMetrics::measure(&state, &spec);
-    RunResult { outcome, state, total_moves, final_metrics, round_metrics, trace }
+    RunResult {
+        outcome,
+        state,
+        total_moves,
+        solver_calls,
+        cache_stats: cache.map(|c| c.stats()),
+        final_metrics,
+        round_metrics,
+        trace,
+    }
 }
 
 /// Runs many independent dynamics in parallel (rayon); results are in
@@ -199,6 +279,7 @@ mod tests {
             run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(3.0, 2)));
         assert_eq!(result.outcome, Outcome::Converged { rounds: 1 });
         assert_eq!(result.total_moves, 0);
+        assert_eq!(result.solver_calls, 12, "round 1 must solve everyone");
     }
 
     #[test]
@@ -224,6 +305,50 @@ mod tests {
         assert_eq!(a.state, b.state);
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.total_moves, b.total_moves);
+    }
+
+    #[test]
+    fn cache_and_rebuild_paths_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..3 {
+            let tree = ncg_graph::generators::random_tree(24, &mut rng);
+            let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+            for (alpha, k) in [(0.4, 2u32), (1.0, 3), (4.0, 2)] {
+                let cached = DynamicsConfig::new(GameSpec::max(alpha, k));
+                let rebuilt = cached.without_view_cache();
+                let a = run(initial.clone(), &cached);
+                let b = run(initial.clone(), &rebuilt);
+                assert_eq!(a.outcome, b.outcome, "α={alpha} k={k}");
+                assert_eq!(a.state, b.state, "α={alpha} k={k}");
+                assert_eq!(a.total_moves, b.total_moves, "α={alpha} k={k}");
+                assert!(
+                    a.solver_calls <= b.solver_calls,
+                    "the cache may only ever skip work (α={alpha} k={k})"
+                );
+                assert!(a.cache_stats.is_some() && b.cache_stats.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn clean_players_are_skipped_not_resolved() {
+        // Converging run of ≥ 2 rounds: the final quiet round must not
+        // call the solver for players untouched since their last solve.
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 6));
+        let result = run(GameState::cycle_successor(12), &config);
+        assert!(result.outcome.converged());
+        let rounds = result.outcome.rounds();
+        assert!(rounds >= 2, "need a multi-round run to observe skipping");
+        let baseline = 12 * rounds;
+        assert!(
+            result.solver_calls < baseline,
+            "cache must skip some of the {baseline} baseline solves, \
+             made {}",
+            result.solver_calls
+        );
+        let stats = result.cache_stats.unwrap();
+        assert_eq!(stats.rebuilds as usize, result.solver_calls);
+        assert_eq!(stats.skips as usize, baseline - result.solver_calls);
     }
 
     #[test]
@@ -326,7 +451,8 @@ mod tests {
         let config = DynamicsConfig { max_rounds: 0, ..DynamicsConfig::new(GameSpec::max(0.1, 5)) };
         let initial = GameState::cycle_successor(10);
         let result = run(initial.clone(), &config);
-        assert_eq!(result.outcome, Outcome::MaxRoundsExceeded);
+        assert_eq!(result.outcome, Outcome::MaxRoundsExceeded { rounds: 0 });
+        assert_eq!(result.outcome.rounds(), 0);
         assert_eq!(result.state, initial);
     }
 }

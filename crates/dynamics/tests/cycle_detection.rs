@@ -102,6 +102,6 @@ fn round_cap_reports_max_rounds_for_nonrepeating_dynamics() {
         GameState::from_strategies(6, vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![0]]);
     let config = DynamicsConfig { max_rounds: 3, ..DynamicsConfig::new(GameSpec::max(1.0, 10)) };
     let result = run_with(state, &config, &mut Grower);
-    assert_eq!(result.outcome, Outcome::MaxRoundsExceeded);
+    assert_eq!(result.outcome, Outcome::MaxRoundsExceeded { rounds: 3 });
     assert_eq!(result.total_moves, 3, "one accepted move per round");
 }

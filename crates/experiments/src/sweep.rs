@@ -35,6 +35,9 @@ pub struct RunRecord {
     pub rep: usize,
     /// `true` iff the dynamics converged.
     pub converged: bool,
+    /// `true` iff the run hit the round cap without converging or
+    /// cycling (in which case `rounds` is the cap, not a sentinel).
+    pub capped: bool,
     /// Rounds executed.
     pub rounds: usize,
     /// Total accepted moves.
@@ -56,14 +59,11 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    /// Builds a record from a cell result.
+    /// Builds a record from a cell result. Capped runs used to leak
+    /// the `usize::MAX` sentinel into the JSON `rounds` field; they
+    /// now record the rounds actually executed plus `capped: true`.
     pub fn from_cell(class: &str, n: usize, cell: &CellResult) -> Self {
         let m = &cell.result.final_metrics;
-        let rounds = match cell.result.outcome {
-            ncg_dynamics::Outcome::Converged { rounds } => rounds,
-            ncg_dynamics::Outcome::Cycled { repeated_at, .. } => repeated_at,
-            ncg_dynamics::Outcome::MaxRoundsExceeded => usize::MAX,
-        };
         RunRecord {
             class: class.to_string(),
             n,
@@ -71,7 +71,8 @@ impl RunRecord {
             k: cell.k,
             rep: cell.rep,
             converged: cell.result.outcome.converged(),
-            rounds,
+            capped: matches!(cell.result.outcome, ncg_dynamics::Outcome::MaxRoundsExceeded { .. }),
+            rounds: cell.result.outcome.rounds(),
             moves: cell.result.total_moves,
             diameter: m.diameter,
             quality: m.quality,
@@ -202,8 +203,29 @@ mod tests {
         assert_eq!(rec.alpha, 2.0);
         assert_eq!(rec.k, 3);
         assert!(rec.converged);
+        assert!(!rec.capped);
         assert!(rec.rounds >= 1);
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("\"class\":\"tree\""));
+        assert!(json.contains("\"capped\":false"));
+    }
+
+    #[test]
+    fn capped_runs_record_executed_rounds_not_a_sentinel() {
+        // A toggling two-player gadget that can never converge, with a
+        // cap of 1 round: the record must say rounds = 1, capped.
+        let state = GameState::from_strategies(3, vec![vec![1], vec![2], vec![0]]);
+        let spec = GameSpec { alpha: 1.0, k: 2, objective: Objective::Max };
+        let mut config = DynamicsConfig::new(spec);
+        config.max_rounds = 0;
+        let result = run(state, &config);
+        let cell = CellResult { alpha: spec.alpha, k: spec.k, rep: 0, result };
+        let rec = RunRecord::from_cell("tree", 3, &cell);
+        assert!(rec.capped);
+        assert!(!rec.converged);
+        assert_eq!(rec.rounds, 0, "rounds must be the executed count, not usize::MAX");
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"capped\":true"));
+        assert!(!json.contains(&usize::MAX.to_string()));
     }
 }

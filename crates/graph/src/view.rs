@@ -10,11 +10,25 @@ use crate::{Graph, NodeId, INFINITY};
 /// The radius-`k` ball around `center`: all nodes at distance `≤ k`,
 /// sorted by node id.
 pub fn ball(g: &Graph, center: NodeId, k: u32) -> Vec<NodeId> {
-    let mut buf = DistanceBuffer::with_capacity(g.node_count());
-    bfs_bounded(g, center, k, &mut buf);
-    let mut nodes: Vec<NodeId> = buf.visited().to_vec();
-    nodes.sort_unstable();
-    nodes
+    let mut out = Vec::new();
+    ball_into(g, center, k, &mut DistanceBuffer::with_capacity(g.node_count()), &mut out);
+    out
+}
+
+/// [`ball`] writing into caller-provided scratch: `out` receives the
+/// sorted ball, `buf` is the BFS workspace. Nothing allocates after
+/// warm-up.
+pub fn ball_into(
+    g: &Graph,
+    center: NodeId,
+    k: u32,
+    buf: &mut DistanceBuffer,
+    out: &mut Vec<NodeId>,
+) {
+    bfs_bounded(g, center, k, buf);
+    out.clear();
+    out.extend_from_slice(buf.visited());
+    out.sort_unstable();
 }
 
 /// An induced subgraph together with the mapping between local and
@@ -63,25 +77,49 @@ impl Subgraph {
 /// The subgraph of `g` induced by `nodes` (global ids, any order,
 /// duplicates ignored).
 pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Subgraph {
-    let mut local_to_global: Vec<NodeId> = nodes.to_vec();
-    local_to_global.sort_unstable();
-    local_to_global.dedup();
-    let mut sub = Graph::new(local_to_global.len());
-    for (lu, &gu) in local_to_global.iter().enumerate() {
+    let mut out = Subgraph { graph: Graph::new(0), local_to_global: Vec::new() };
+    induced_subgraph_into(g, nodes, &mut out);
+    out
+}
+
+/// [`induced_subgraph`] overwriting an existing [`Subgraph`], reusing
+/// its node-map and adjacency allocations (see [`Graph::reset`]).
+pub fn induced_subgraph_into(g: &Graph, nodes: &[NodeId], out: &mut Subgraph) {
+    out.local_to_global.clear();
+    out.local_to_global.extend_from_slice(nodes);
+    out.local_to_global.sort_unstable();
+    out.local_to_global.dedup();
+    out.graph.reset(out.local_to_global.len());
+    for (lu, &gu) in out.local_to_global.iter().enumerate() {
         for &gv in g.neighbors(gu) {
             if gv > gu {
-                if let Ok(lv) = local_to_global.binary_search(&gv) {
-                    sub.add_edge(lu as NodeId, lv as NodeId);
+                if let Ok(lv) = out.local_to_global.binary_search(&gv) {
+                    out.graph.add_edge(lu as NodeId, lv as NodeId);
                 }
             }
         }
     }
-    Subgraph { graph: sub, local_to_global }
 }
 
 /// The view of `center` at radius `k`: induced subgraph of the ball.
 pub fn view_subgraph(g: &Graph, center: NodeId, k: u32) -> Subgraph {
     induced_subgraph(g, &ball(g, center, k))
+}
+
+/// [`view_subgraph`] writing into caller scratch: `ball_buf` holds the
+/// sorted ball on return, `buf` is the BFS workspace, `out` the
+/// overwritten subgraph. The allocation-free path of the incremental
+/// view rebuild.
+pub fn view_subgraph_into(
+    g: &Graph,
+    center: NodeId,
+    k: u32,
+    buf: &mut DistanceBuffer,
+    ball_buf: &mut Vec<NodeId>,
+    out: &mut Subgraph,
+) {
+    ball_into(g, center, k, buf, ball_buf);
+    induced_subgraph_into(g, ball_buf, out);
 }
 
 /// The `h`-th power of `g`: same nodes, an edge wherever the distance
@@ -212,6 +250,31 @@ mod tests {
         assert!(p.has_edge(2, 3));
         assert!(!p.has_edge(1, 2));
         assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn into_variants_match_fresh_builds() {
+        let g = generators::grid(4, 4);
+        let mut buf = DistanceBuffer::new();
+        let mut ball_buf = Vec::new();
+        let mut sub = Subgraph { graph: crate::Graph::new(0), local_to_global: Vec::new() };
+        for center in 0..g.node_count() as NodeId {
+            for k in 0..=4 {
+                ball_into(&g, center, k, &mut buf, &mut ball_buf);
+                assert_eq!(ball_buf, ball(&g, center, k), "ball center={center} k={k}");
+                view_subgraph_into(&g, center, k, &mut buf, &mut ball_buf, &mut sub);
+                assert_eq!(sub, view_subgraph(&g, center, k), "view center={center} k={k}");
+                assert!(sub.graph.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_into_reuses_allocation_across_shrink() {
+        let g = generators::cycle(8);
+        let mut sub = induced_subgraph(&g, &[0, 1, 2, 3, 4, 5]);
+        induced_subgraph_into(&g, &[6, 7, 0], &mut sub);
+        assert_eq!(sub, induced_subgraph(&g, &[6, 7, 0]));
     }
 
     #[test]

@@ -98,6 +98,15 @@ impl BitSet {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Clears the set and re-targets it to a (possibly different)
+    /// capacity, reusing the word storage — the grow-only allocation
+    /// discipline of the solver's engine reset.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
     /// `self ∪= other`.
     ///
     /// # Panics
@@ -204,6 +213,23 @@ mod tests {
         assert!(s.remove(64));
         assert!(!s.remove(64));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn reset_retargets_capacity_and_clears() {
+        let mut s = BitSet::new(70);
+        s.insert(3);
+        s.insert(69);
+        for cap in [70usize, 5, 200, 0, 64] {
+            s.reset(cap);
+            assert_eq!(s.capacity(), cap, "cap = {cap}");
+            assert!(s.is_empty(), "cap = {cap}");
+            assert_eq!(s, BitSet::new(cap), "cap = {cap}");
+            if cap > 0 {
+                s.insert(cap as u32 - 1);
+                assert_eq!(s.len(), 1);
+            }
+        }
     }
 
     #[test]

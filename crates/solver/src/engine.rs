@@ -148,43 +148,46 @@ impl DominationEngine {
         e
     }
 
-    /// Re-targets the engine at a new instance family, recycling every
-    /// allocation whose shape survives (same-`n` resets are free of
-    /// heap traffic; the per-depth pools survive any reset of equal
-    /// ground-set size).
+    /// Re-targets the engine at a new instance family, recycling the
+    /// allocations grow-only: per-element buffers keep their word/heap
+    /// storage across *any* size change (consecutive dynamics views
+    /// almost never share a size, so the old same-`n`-only fast path
+    /// reallocated ~3n buffers per solve), and only the per-depth
+    /// pools — whose bitsets are pinned to the old capacity — are
+    /// dropped when `n` changes, bounded by the previous search depth.
     pub fn reset(&mut self, universe: BitSet, forced: &[u32]) {
         let n = universe.capacity();
-        if n == self.n && self.covers.len() == n {
-            for c in &mut self.covers {
-                c.clear();
-            }
-            for d in &mut self.dominators {
-                d.clear();
-            }
-            for d in &mut self.dominator_sets {
-                d.clear();
-            }
-            self.cover_sizes.iter_mut().for_each(|c| *c = 0);
-            self.forced_set.clear();
-            self.initial_covered.clear();
-            self.any_cover.clear();
-        } else {
-            self.n = n;
-            self.covers = vec![BitSet::new(n); n];
-            self.dominators = vec![Vec::new(); n];
-            self.dominator_sets = vec![BitSet::new(n); n];
-            self.cover_sizes = vec![0; n];
-            self.forced_set = BitSet::new(n);
-            self.initial_covered = BitSet::new(n);
-            self.any_cover = BitSet::new(n);
+        if n != self.n {
             self.probe_pool.clear();
             self.live_pool.clear();
             self.cand_pool.clear();
             self.alive_pool.clear();
-            self.gains = vec![0; n];
-            self.used_scratch = BitSet::new(n);
-            self.greedy_covered = BitSet::new(n);
+            self.n = n;
         }
+        self.covers.truncate(n);
+        for c in &mut self.covers {
+            c.reset(n);
+        }
+        self.covers.resize_with(n, || BitSet::new(n));
+        self.dominators.truncate(n);
+        for d in &mut self.dominators {
+            d.clear();
+        }
+        self.dominators.resize_with(n, Vec::new);
+        self.dominator_sets.truncate(n);
+        for d in &mut self.dominator_sets {
+            d.reset(n);
+        }
+        self.dominator_sets.resize_with(n, || BitSet::new(n));
+        self.cover_sizes.clear();
+        self.cover_sizes.resize(n, 0);
+        self.gains.clear();
+        self.gains.resize(n, 0);
+        self.forced_set.reset(n);
+        self.initial_covered.reset(n);
+        self.any_cover.reset(n);
+        self.used_scratch.reset(n);
+        self.greedy_covered.reset(n);
         self.max_cover = 0;
         self.universe = universe;
         self.forced.clear();
@@ -724,6 +727,20 @@ mod tests {
             }
         }
         assert_eq!(engine.solve_exact(usize::MAX).unwrap().len(), 3);
+        // And growing again after the shrink (the grow-only reuse
+        // path re-targets the recycled word storage).
+        let g4 = generators::cycle(21);
+        let i4 = graph_instance(&g4, vec![]);
+        engine.reset(i4.universe.clone(), &i4.forced);
+        for (s, c) in i4.covers.iter().enumerate() {
+            for v in c.iter() {
+                engine.add_pair(s as u32, v);
+            }
+        }
+        assert_eq!(
+            engine.solve_exact(usize::MAX).map(|s| s.len()),
+            i4.solve_exact(usize::MAX).map(|s| s.len())
+        );
     }
 
     #[test]

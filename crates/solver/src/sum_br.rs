@@ -49,7 +49,7 @@ pub fn sum_best_response_with(
     if view.len() <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
-    if mode == Mode::Exact && view.candidates().len() <= SUM_EXACT_CAP {
+    if mode == Mode::Exact && view.candidate_count() <= SUM_EXACT_CAP {
         return best_response_exhaustive_with(spec, view, &mut scratch.eval)
             .expect("candidate count checked against the cap");
     }
@@ -59,7 +59,6 @@ pub fn sum_best_response_with(
 /// Deterministic steepest-descent local search over single
 /// additions, removals and swaps.
 fn hill_climb(spec: &GameSpec, view: &PlayerView, scratch: &mut EvalScratch) -> Deviation {
-    let candidates = view.candidates();
     let mut current = view.purchases.clone();
     let mut current_cost = current_total(spec, view);
     // The empty strategy is a useful second seed: when the player's
@@ -87,7 +86,7 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView, scratch: &mut EvalScratch) -> 
             }
         };
         // Additions.
-        for &c in &candidates {
+        for c in view.candidates_iter() {
             if current.binary_search(&c).is_err() {
                 let mut s = current.clone();
                 let pos = s.binary_search(&c).unwrap_err();
@@ -103,7 +102,7 @@ fn hill_climb(spec: &GameSpec, view: &PlayerView, scratch: &mut EvalScratch) -> 
         }
         // Swaps: drop one purchase, add one non-purchase.
         for i in 0..current.len() {
-            for &c in &candidates {
+            for c in view.candidates_iter() {
                 if current.binary_search(&c).is_err() {
                     let mut s = current.clone();
                     s.remove(i);

@@ -86,7 +86,7 @@ fn claim_fast_convergence_and_rare_cycles() {
                 }
             }
             Outcome::Cycled { .. } => cycled += 1,
-            Outcome::MaxRoundsExceeded => {}
+            Outcome::MaxRoundsExceeded { .. } => {}
         }
     }
     assert!(converged + cycled == total, "no run may hit the round cap");

@@ -3,16 +3,22 @@
 //! `map_init`, `enumerate` and indexed `collect`, plus
 //! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
 //!
-//! Unlike most offline shims this one is **really parallel**: maps are
-//! executed on `std::thread::scope` workers, one chunk per hardware
-//! thread, with deterministic (input-order) results. There is no work
-//! stealing, so very skewed workloads balance worse than real rayon —
-//! an acceptable trade for a dependency-free build.
+//! Unlike most offline shims this one is **really parallel** *and*
+//! load-balanced: maps run on `std::thread::scope` workers over
+//! per-worker deques. Each worker pops work from the front of its own
+//! deque; a worker that runs dry steals the back *half* of the
+//! fullest other deque (the classic steal-half discipline real rayon's
+//! Chase–Lev deques approximate), so skewed workloads — a sweep where
+//! a few `(α, k)` cells run 200 dynamics rounds while most converge in
+//! 3 — keep every core busy instead of idling behind one static
+//! chunk. Results are still deterministic (input-order): items carry
+//! their index and land in pre-assigned output slots.
 
 #![deny(missing_docs)]
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::sync::Mutex;
 
 thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`].
@@ -86,7 +92,63 @@ macro_rules! impl_range_par {
 }
 impl_range_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Order-preserving parallel map over owned items.
+/// One worker's share of the input, as an index range into the shared
+/// slot arrays. The owner pops single items from the *front*; thieves
+/// take the back half in one lock acquisition. Contention is one
+/// uncontended lock per item plus one per steal — negligible against
+/// the per-item work this workspace parallelises (whole dynamics
+/// runs, BFS batches).
+struct Deque {
+    range: Mutex<Range<usize>>,
+}
+
+impl Deque {
+    fn new(range: Range<usize>) -> Self {
+        Deque { range: Mutex::new(range) }
+    }
+
+    /// Owner path: next index from the front, if any.
+    fn pop_front(&self) -> Option<usize> {
+        let mut r = self.range.lock().expect("deque lock poisoned");
+        if r.start < r.end {
+            let i = r.start;
+            r.start += 1;
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Remaining length (racy snapshot — victims are re-checked under
+    /// the lock in [`Deque::steal_back_half`]).
+    fn len(&self) -> usize {
+        let r = self.range.lock().expect("deque lock poisoned");
+        r.end - r.start
+    }
+
+    /// Thief path: detach the back half (at least one item) as a new
+    /// range, or `None` if the deque is empty.
+    fn steal_back_half(&self) -> Option<Range<usize>> {
+        let mut r = self.range.lock().expect("deque lock poisoned");
+        let len = r.end - r.start;
+        if len == 0 {
+            return None;
+        }
+        let take = len.div_ceil(2);
+        let stolen = (r.end - take)..r.end;
+        r.end -= take;
+        Some(stolen)
+    }
+
+    /// Hands a stolen range to this (empty) deque.
+    fn refill(&self, range: Range<usize>) {
+        let mut r = self.range.lock().expect("deque lock poisoned");
+        debug_assert!(r.start >= r.end, "refilling a non-empty deque");
+        *r = range;
+    }
+}
+
+/// Order-preserving work-stealing parallel map over owned items.
 fn par_map<T: Send, U: Send, S, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
 where
     I: Fn() -> S + Sync,
@@ -98,22 +160,55 @@ where
         let mut state = init();
         return items.into_iter().map(|item| f(&mut state, item)).collect();
     }
-    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Initial even split; stealing rebalances from there.
     let chunk = n.div_ceil(threads);
+    let deques: Vec<Deque> =
+        (0..threads).map(|w| Deque::new((w * chunk).min(n)..((w + 1) * chunk).min(n))).collect();
     std::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(|| {
+        for me in 0..threads {
+            let slots = &slots;
+            let out = &out;
+            let deques = &deques;
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
                 let _worker = CellRestore::set(&IN_WORKER, true);
                 let mut state = init();
-                for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                    let item = slot.take().expect("slot filled exactly once");
-                    *dst = Some(f(&mut state, item));
+                loop {
+                    // Drain own deque from the front.
+                    while let Some(i) = deques[me].pop_front() {
+                        let item = slots[i]
+                            .lock()
+                            .expect("slot lock poisoned")
+                            .take()
+                            .expect("slot consumed exactly once");
+                        let result = f(&mut state, item);
+                        *out[i].lock().expect("slot lock poisoned") = Some(result);
+                    }
+                    // Dry: steal the back half of the fullest victim.
+                    let victim = (0..threads)
+                        .filter(|&w| w != me)
+                        .map(|w| (deques[w].len(), w))
+                        .max()
+                        .filter(|&(len, _)| len > 0)
+                        .map(|(_, w)| w);
+                    let Some(victim) = victim else { break };
+                    // The victim may have drained between the scan and
+                    // the steal; just rescan in that case.
+                    if let Some(stolen) = deques[victim].steal_back_half() {
+                        deques[me].refill(stolen);
+                    }
                 }
             });
         }
     });
-    out.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("slot lock poisoned").expect("worker filled every slot")
+        })
+        .collect()
 }
 
 impl<T: Send> ParIter<T> {
@@ -252,6 +347,78 @@ mod tests {
         for (x, inner) in out.iter().enumerate() {
             assert_eq!(*inner, (x * 8..x * 8 + 8).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn skewed_workloads_complete_correctly_and_in_order() {
+        // A classic work-stealing stress shape: the first items are
+        // orders of magnitude heavier than the rest. Static chunking
+        // would serialise behind worker 0; either way every slot must
+        // be filled exactly once and order preserved.
+        let out: Vec<u64> = (0..512u64)
+            .into_par_iter()
+            .map(|x| {
+                let spins = if x < 4 { 200_000 } else { 50 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x * 3
+            })
+            .collect();
+        assert_eq!(out, (0..512).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_rebalances_a_one_sided_split() {
+        // All heavy items land in the first static chunk; with ≥ 2
+        // workers the run can only finish correctly if every item is
+        // processed exactly once regardless of who ends up running it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let processed = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|x| {
+                processed.fetch_add(1, Ordering::Relaxed);
+                if x < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x
+            })
+            .collect();
+        assert_eq!(processed.load(Ordering::Relaxed), 64);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_overlaps_a_chunk_of_sleepers() {
+        // 2 workers, 4 items, the two *sleepy* items both in worker
+        // 0's initial half. Static chunking would run them back to
+        // back (≈ 2T wall even on one core — sleeps don't need CPU);
+        // steal-half lets worker 1 lift one of them as soon as its own
+        // chunk (two no-ops) is done, so the sleeps overlap (≈ T).
+        let t = std::time::Duration::from_millis(80);
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let start = std::time::Instant::now();
+        let out: Vec<usize> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|x| {
+                    if x < 2 {
+                        std::thread::sleep(t);
+                    }
+                    x
+                })
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(
+            elapsed < t * 2,
+            "sleepy items did not overlap ({elapsed:?} ≥ {:?}) — stealing broken?",
+            t * 2
+        );
     }
 
     #[test]
