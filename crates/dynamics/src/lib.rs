@@ -22,6 +22,11 @@
 //!   outcomes are bit-identical with the cache on or off.
 //! * [`run_many`] — rayon-parallel batch over independent initial
 //!   states, results in input order.
+//! * [`run_with_cache`] — warm-started variant: a [`CacheArena`]
+//!   (one [`ViewCache`] + one solver responder) carried across
+//!   consecutive runs reuses every allocation; outcomes stay
+//!   bit-identical to cold runs. The experiments sweep engine keeps
+//!   one arena per repetition across all `(α, k)` cells.
 //! * [`StateMetrics`] — the per-network statistics the paper collects
 //!   after every round (diameter, social cost, degrees, bought edges,
 //!   view sizes, fairness).
@@ -49,6 +54,8 @@ mod view_cache;
 
 pub use fingerprint::CycleDetector;
 pub use metrics::StateMetrics;
-pub use runner::{run, run_many, run_with, DynamicsConfig, Outcome, RunResult};
+pub use runner::{
+    run, run_many, run_with, run_with_cache, CacheArena, DynamicsConfig, Outcome, RunResult,
+};
 pub use trace::{MoveEvent, Trace};
 pub use view_cache::{CacheStats, ViewCache};

@@ -2,7 +2,8 @@
 //! each round and reports in Figures 5–10.
 
 use ncg_core::{social, GameSpec, GameState};
-use ncg_graph::metrics as gmetrics;
+use ncg_graph::bfs::DistanceBuffer;
+use ncg_graph::{CsrGraph, INFINITY};
 use serde::{Deserialize, Serialize};
 
 /// Snapshot of every statistic the experimental section plots.
@@ -36,15 +37,29 @@ pub struct StateMetrics {
 
 impl StateMetrics {
     /// Measures a state under the given spec (view sizes use `spec.k`).
+    ///
+    /// One CSR freeze plus one full BFS per vertex over the shared
+    /// multi-source kernel produces the diameter *and* both view-size
+    /// statistics together (a ball of radius `k` is exactly the nodes
+    /// at distance `≤ k`), replacing the seed's per-vertex `Graph`
+    /// BFS for the diameter and per-vertex ball construction for the
+    /// views — the dominant cost of short warm-started runs at large
+    /// `n` (ROADMAP follow-up; parity-tested against
+    /// `ncg_graph::metrics::diameter` and `ncg_graph::view::ball`).
     pub fn measure(state: &GameState, spec: &GameSpec) -> Self {
         let g = state.graph();
         let n = state.n();
+        let csr = CsrGraph::from_graph(g);
+        let mut buf = DistanceBuffer::with_capacity(n);
         let mut min_view = usize::MAX;
         let mut view_total = 0usize;
+        let mut ecc_max = 0u32;
+        let mut connected = true;
         for u in 0..n as u32 {
-            // Only the ball size is needed — avoid building the full
-            // induced subgraph machinery of PlayerView.
-            let size = ncg_graph::view::ball(g, u, spec.k).len();
+            let ecc = csr.bfs(u, &mut buf);
+            connected &= buf.visited().len() == n;
+            ecc_max = ecc_max.max(ecc);
+            let size = buf.distances().iter().filter(|&&d| d != INFINITY && d <= spec.k).count();
             min_view = min_view.min(size);
             view_total += size;
         }
@@ -54,7 +69,7 @@ impl StateMetrics {
         StateMetrics {
             n,
             edges: g.edge_count(),
-            diameter: gmetrics::diameter(g),
+            diameter: (n > 0 && connected).then_some(ecc_max),
             social_cost: social::social_cost(state, spec),
             quality: social::quality(state, spec),
             max_degree: g.max_degree(),
@@ -68,17 +83,20 @@ impl StateMetrics {
     }
 
     /// Convenience: the view-size statistics alone, which Figure 5
-    /// plots (min and mean over players).
+    /// plots (min and mean over players). Same CSR bounded-BFS path
+    /// as [`StateMetrics::measure`].
     pub fn view_sizes(state: &GameState, k: u32) -> (usize, f64) {
-        let g = state.graph();
         let n = state.n();
         if n == 0 {
             return (0, 0.0);
         }
+        let csr = CsrGraph::from_graph(state.graph());
+        let mut buf = DistanceBuffer::with_capacity(n);
         let mut min = usize::MAX;
         let mut total = 0usize;
         for u in 0..n as u32 {
-            let size = ncg_graph::view::ball(g, u, k).len();
+            csr.bfs_bounded(u, k, &mut buf);
+            let size = buf.visited().len();
             min = min.min(size);
             total += size;
         }
@@ -137,5 +155,37 @@ mod tests {
         let m = StateMetrics::measure(&state, &GameSpec::sum(1.0, 2));
         let back: StateMetrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn csr_path_matches_reference_diameter_and_balls() {
+        // Parity of the CSR measurement path against the per-vertex
+        // `Graph` reference implementations it replaced.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(33);
+        for trial in 0..4 {
+            let g = ncg_graph::generators::gnp(40, 0.05 + 0.03 * trial as f64, &mut rng).unwrap();
+            let state = GameState::from_graph_random_ownership(&g, &mut rng);
+            for k in [1u32, 2, 3, 1000] {
+                let spec = GameSpec::max(1.0, k);
+                let m = StateMetrics::measure(&state, &spec);
+                assert_eq!(
+                    m.diameter,
+                    ncg_graph::metrics::diameter(state.graph()),
+                    "diameter parity (trial {trial}, k={k})"
+                );
+                let mut min = usize::MAX;
+                let mut total = 0usize;
+                for u in 0..state.n() as u32 {
+                    let size = ncg_graph::view::ball(state.graph(), u, k).len();
+                    min = min.min(size);
+                    total += size;
+                }
+                assert_eq!(m.min_view, min, "min view parity (trial {trial}, k={k})");
+                let avg = total as f64 / state.n() as f64;
+                assert!((m.avg_view - avg).abs() < 1e-12, "avg view parity (trial {trial}, k={k})");
+                assert_eq!(StateMetrics::view_sizes(&state, k), (min, avg));
+            }
+        }
     }
 }

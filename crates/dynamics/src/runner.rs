@@ -160,6 +160,52 @@ pub fn run(initial: GameState, config: &DynamicsConfig) -> RunResult {
     run_with(initial, config, &mut responder)
 }
 
+/// Reusable warm-start bundle for back-to-back dynamics runs: one
+/// [`ViewCache`] plus one [`Responder`] (which owns its
+/// `SolverScratch`), handed to [`run_with_cache`] so consecutive runs
+/// sharing an initial-state family reuse every view, BFS buffer, and
+/// solver allocation instead of re-growing them from cold. The sweep
+/// engine keeps one arena per repetition across all `(α, k)` cells.
+///
+/// Warm starts are *allocation* reuse only: the cache is
+/// [`ViewCache::reset`] before every run and the responder's
+/// determinism contract makes its scratch contents unobservable, so
+/// outcomes are bit-identical to cold [`run`] calls (property-tested
+/// in the experiments crate).
+#[derive(Debug, Clone, Default)]
+pub struct CacheArena {
+    cache: Option<ViewCache>,
+    responder: Responder,
+}
+
+impl CacheArena {
+    /// An empty arena; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Like [`run`], but warm-started from `arena`: the arena's view
+/// cache is re-armed (same observable behaviour as a fresh cache)
+/// and its responder reused, so nothing is re-allocated between
+/// consecutive runs. Honours `config.use_view_cache` — when the cache
+/// is disabled only the responder's solver scratch is reused.
+pub fn run_with_cache(
+    initial: GameState,
+    config: &DynamicsConfig,
+    arena: &mut CacheArena,
+) -> RunResult {
+    arena.responder.mode = config.mode;
+    if config.use_view_cache {
+        let n = initial.n();
+        let cache = arena.cache.get_or_insert_with(|| ViewCache::new(n, config.spec.k));
+        cache.reset(n, config.spec.k);
+        run_core(initial, config, &mut arena.responder, Some(cache))
+    } else {
+        run_core(initial, config, &mut arena.responder, None)
+    }
+}
+
 /// Like [`run`], but with a caller-provided best-response engine —
 /// any [`BestResponder`], including closures. The engine must be
 /// deterministic for the cycle detection to be sound (a repeated
@@ -172,11 +218,23 @@ pub fn run_with<B: BestResponder>(
     config: &DynamicsConfig,
     responder: &mut B,
 ) -> RunResult {
+    let mut cache = config.use_view_cache.then(|| ViewCache::new(initial.n(), config.spec.k));
+    run_core(initial, config, responder, cache.as_mut())
+}
+
+/// The round loop shared by every entry point; `cache` is either
+/// owned by the caller for this one run ([`run_with`]) or borrowed
+/// from a long-lived [`CacheArena`] ([`run_with_cache`]).
+fn run_core<B: BestResponder>(
+    initial: GameState,
+    config: &DynamicsConfig,
+    responder: &mut B,
+    mut cache: Option<&mut ViewCache>,
+) -> RunResult {
     let mut state = initial;
     let spec = config.spec;
     let n = state.n();
     let mut detector = CycleDetector::new(&state);
-    let mut cache = config.use_view_cache.then(|| ViewCache::new(n, spec.k));
     let mut total_moves = 0usize;
     let mut solver_calls = 0usize;
     let mut round_metrics = Vec::new();
@@ -443,6 +501,47 @@ mod tests {
         let untraced =
             run(GameState::cycle_successor(12), &DynamicsConfig::new(GameSpec::max(0.5, 6)));
         assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn warm_started_runs_match_cold_runs_bitwise() {
+        // One arena reused across many (state, α, k, objective)
+        // combinations — the sweep engine's per-rep usage pattern —
+        // must reproduce every cold run exactly, including solver-call
+        // counts and cache statistics.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut arena = CacheArena::new();
+        for n in [14usize, 22, 18] {
+            let tree = ncg_graph::generators::random_tree(n, &mut rng);
+            let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+            for (alpha, k) in [(0.3, 2u32), (1.0, 3), (5.0, 2), (0.5, 1000)] {
+                let config = DynamicsConfig::new(GameSpec::max(alpha, k));
+                let warm = run_with_cache(initial.clone(), &config, &mut arena);
+                let cold = run(initial.clone(), &config);
+                assert_eq!(warm.outcome, cold.outcome, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.state, cold.state, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.total_moves, cold.total_moves, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.solver_calls, cold.solver_calls, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.cache_stats, cold.cache_stats, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.final_metrics, cold.final_metrics, "n={n} α={alpha} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_honours_disabled_cache_and_mode() {
+        let mut arena = CacheArena::new();
+        let initial = GameState::cycle_successor(12);
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 6)).without_view_cache();
+        let warm = run_with_cache(initial.clone(), &config, &mut arena);
+        assert!(warm.cache_stats.is_none());
+        assert_eq!(warm.state, run(initial.clone(), &config).state);
+        // Same arena, now greedy mode with the cache on.
+        let greedy = DynamicsConfig::new(GameSpec::max(1.0, 3)).greedy();
+        let warm = run_with_cache(initial.clone(), &greedy, &mut arena);
+        let cold = run(initial, &greedy);
+        assert_eq!(warm.outcome, cold.outcome);
+        assert_eq!(warm.state, cold.state);
     }
 
     #[test]

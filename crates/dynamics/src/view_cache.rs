@@ -91,6 +91,25 @@ impl ViewCache {
         self.k
     }
 
+    /// Re-arms the cache for a fresh run of `n` players at radius `k`,
+    /// keeping every allocation the previous run grew: cached
+    /// [`PlayerView`]s (their next [`ViewCache::refresh`] rebuilds in
+    /// place instead of building from scratch), the BFS buffer, and
+    /// the view scratch. Every player starts dirty and the statistics
+    /// restart at zero, so a reset cache is observationally identical
+    /// to [`ViewCache::new`] — the warm-start soundness argument of
+    /// DESIGN.md §7 rests on exactly this equivalence.
+    pub fn reset(&mut self, n: usize, k: u32) {
+        self.k = k;
+        if self.views.len() != n {
+            self.views.resize_with(n, || None);
+        }
+        self.dirty.clear();
+        self.dirty.resize(n, true);
+        self.touched.clear();
+        self.stats = CacheStats::default();
+    }
+
     /// Whether player `u`'s cached view is current *and* she had no
     /// improving move when last solved on it.
     #[inline]
@@ -279,6 +298,34 @@ mod tests {
                     "clean player {u} holds a stale view"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn reset_rearms_like_a_fresh_cache() {
+        let state_a = GameState::cycle_successor(8);
+        let mut cache = ViewCache::new(8, 2);
+        for u in 0..8 {
+            cache.refresh(&state_a, u);
+        }
+        assert!(cache.stats().rebuilds > 0);
+        // Re-arm for a different state, size, and radius.
+        let state_b = GameState::star_center_owned(6);
+        cache.reset(6, 3);
+        assert_eq!(cache.k(), 3);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!((0..6).all(|u| !cache.is_clean(u)));
+        for u in 0..6 {
+            assert_eq!(
+                cache.refresh(&state_b, u),
+                &PlayerView::build(&state_b, u, 3),
+                "warm refresh of player {u} must equal a fresh build"
+            );
+        }
+        // Growing again is also fine.
+        cache.reset(8, 2);
+        for u in 0..8 {
+            assert_eq!(cache.refresh(&state_a, u), &PlayerView::build(&state_a, u, 2));
         }
     }
 

@@ -1,0 +1,412 @@
+//! The experiment-level sweep orchestrator: one entry point
+//! ([`execute`]) that every dynamics figure routes its sweeps
+//! through, in one of three modes.
+//!
+//! * **Local** — run every cell in-process (warm-started per rep),
+//!   stream each finished cell to the JSONL journal the moment it
+//!   completes, and *fold* records into the experiment's `O(grid)`
+//!   aggregates in canonical cell order (a small reorder buffer
+//!   re-serialises the workers' completion order). If a journal from
+//!   a killed run exists, its cells are replayed into the fold and
+//!   only the missing ones are computed.
+//! * **Shard** — run only the cells of shard `i` of `M` (partitioned
+//!   by `rep % M`, keeping warm-start groups intact), journal them,
+//!   and skip table rendering entirely: tables come from `merge`.
+//! * **Merge** — run nothing; read the `M` shard journals, verify
+//!   the grid is complete, fold in canonical order, and write the
+//!   canonical merged journal. Because folding consumes records in
+//!   the same order Local mode does and serialisation is
+//!   deterministic, merged tables and JSONL are byte-identical to a
+//!   single-process run (property-tested in
+//!   `tests/sweep_shard_props.rs`).
+//!
+//! The fold callback receives `(sweep index, cell, record)` strictly
+//! in canonical order: sweeps in plan order, cells by linear index.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+
+use ncg_stats::{Accumulator, Summary};
+use parking_lot::Mutex;
+
+use crate::journal::{self, JournalEntry, JournalWriter};
+use crate::sweep::{run_cells, CellId, RunRecord, Shard, SweepSpec};
+
+/// How an experiment's sweeps are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Run everything in this process.
+    Local,
+    /// Run only shard `index` of `count`, journal, render no tables.
+    Shard {
+        /// Total number of shards.
+        count: usize,
+        /// This process's shard.
+        index: usize,
+    },
+    /// Fold the `count` shard journals into the final artifacts.
+    Merge {
+        /// Total number of shards to merge.
+        count: usize,
+    },
+}
+
+/// Execution context threaded from the CLI into every experiment.
+#[derive(Debug, Clone)]
+pub struct SweepContext {
+    /// Execution mode.
+    pub mode: SweepMode,
+    /// Directory holding journals (`None`: no journaling — the pure
+    /// in-memory library path used by tests and `run(profile)`).
+    pub journal_dir: Option<PathBuf>,
+    /// Whether to warm-start dynamics per repetition (on by default;
+    /// outcomes are bit-identical either way).
+    pub warm_start: bool,
+}
+
+impl SweepContext {
+    /// The default context: local, no journal, warm starts on.
+    pub fn local() -> Self {
+        SweepContext { mode: SweepMode::Local, journal_dir: None, warm_start: true }
+    }
+}
+
+impl Default for SweepContext {
+    fn default() -> Self {
+        Self::local()
+    }
+}
+
+/// What [`execute`] did, for the experiment's notes.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// `true` when the fold ran (Local/Merge) and tables can be
+    /// rendered; `false` in shard mode.
+    pub folded: bool,
+    /// Cells actually computed in this process.
+    pub cells_run: usize,
+    /// Cells replayed from journals (resume or merge).
+    pub cells_resumed: usize,
+    /// The journal written, if journaling was on.
+    pub journal: Option<PathBuf>,
+    shard: Option<(usize, usize)>,
+}
+
+impl ExecReport {
+    /// In shard mode, the note replacing the experiment's tables;
+    /// `None` otherwise.
+    pub fn shard_note(&self, experiment: &str) -> Option<String> {
+        let (index, count) = self.shard?;
+        let path = self
+            .journal
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<no journal>".into());
+        Some(format!(
+            "{experiment} — shard {index} of {count}: journaled {} new cells \
+             ({} resumed) to {path}; run `merge {experiment} --shards {count}` \
+             once every shard has finished.",
+            self.cells_run, self.cells_resumed
+        ))
+    }
+}
+
+/// Checks a resumed/merged entry against the cell the spec says it
+/// belongs to; a mismatch means the journal was produced by a
+/// different profile — including a different `--seed`, `--reps`,
+/// workload, or grid, which only the [`SweepSpec::fingerprint`] can
+/// see — and must not be silently mixed in.
+fn validate_entry(spec: &SweepSpec, cell: CellId, entry: &JournalEntry) {
+    assert!(
+        entry.grid == spec.fingerprint(),
+        "journal entry for sweep '{}' cell {} was written under a different profile \
+         (grid fingerprint {:#018x}, current {:#018x} — seed, reps, workload, or α/k \
+         grid changed); delete the stale journal and re-run",
+        spec.label,
+        cell.index,
+        entry.grid,
+        spec.fingerprint()
+    );
+    let record = &entry.record;
+    let ok = record.alpha == spec.alphas[cell.ai]
+        && record.k == spec.ks[cell.ki]
+        && record.rep == cell.rep
+        && record.n == spec.n
+        && record.class == spec.class();
+    assert!(
+        ok,
+        "journal entry for sweep '{}' cell {} does not match the current profile \
+         (found α={} k={} rep={} n={} class={}); delete the stale journal and re-run",
+        spec.label, cell.index, record.alpha, record.k, record.rep, record.n, record.class
+    );
+}
+
+/// The per-sweep streaming sink: appends finished cells to the
+/// journal immediately (crash safety) and re-serialises the workers'
+/// completion order into canonical order for the fold via a reorder
+/// buffer keyed by cell index. Resumed records are preloaded into the
+/// buffer, so the fold sees one contiguous canonical stream. The
+/// buffer only ever holds records completed ahead of the canonical
+/// cursor (plus preloaded resume records), so it stays far below the
+/// grid size in practice.
+struct SinkState<'a> {
+    writer: Option<JournalWriter>,
+    pending: BTreeMap<usize, RunRecord>,
+    next: usize,
+    ran: usize,
+    fold: &'a mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
+}
+
+impl SinkState<'_> {
+    fn drain(&mut self, spec_idx: usize, spec: &SweepSpec) {
+        while let Some(record) = self.pending.remove(&self.next) {
+            (self.fold)(spec_idx, spec.cell(self.next), &record);
+            self.next += 1;
+        }
+    }
+}
+
+/// Executes an experiment's sweeps under the given context, driving
+/// `fold(sweep index, cell, record)` in canonical order (Local and
+/// Merge modes). Returns what happened; in shard mode the fold is
+/// never called. Panics on journal I/O errors, on merge journals
+/// that are incomplete or from a different profile, and on an
+/// invalid shard selection.
+pub fn execute(
+    ctx: &SweepContext,
+    experiment: &str,
+    specs: &[SweepSpec],
+    fold: &mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
+) -> ExecReport {
+    match ctx.mode {
+        SweepMode::Merge { count } => merge(ctx, experiment, specs, count, fold),
+        SweepMode::Local => run_shard(ctx, experiment, specs, Shard::all(), true, fold),
+        SweepMode::Shard { count, index } => {
+            assert!(count >= 1 && index < count, "invalid shard {index} of {count}");
+            run_shard(ctx, experiment, specs, Shard { count, index }, false, fold)
+        }
+    }
+}
+
+fn run_shard(
+    ctx: &SweepContext,
+    experiment: &str,
+    specs: &[SweepSpec],
+    shard: Shard,
+    do_fold: bool,
+    fold: &mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
+) -> ExecReport {
+    let path = ctx.journal_dir.as_ref().map(|dir| {
+        if shard.count == 1 {
+            journal::journal_path(dir, experiment)
+        } else {
+            journal::shard_journal_path(dir, experiment, shard.index, shard.count)
+        }
+    });
+    // Resume: index every journaled record by (sweep, cell).
+    let mut resumed: HashMap<(usize, usize), RunRecord> = HashMap::new();
+    if let Some(path) = path.as_ref() {
+        for entry in journal::read(path).expect("reading the resume journal") {
+            if let Some(si) = specs.iter().position(|s| s.label == entry.sweep) {
+                if entry.cell < specs[si].cell_count() {
+                    let cell = specs[si].cell(entry.cell);
+                    validate_entry(&specs[si], cell, &entry);
+                    resumed.insert((si, entry.cell), entry.record);
+                }
+            }
+        }
+    }
+    // Even an empty shard must leave a journal behind, or `merge`
+    // could not tell "ran, owned nothing" from "never ran".
+    let mut writer = path.as_ref().map(|p| JournalWriter::append(p).expect("opening journal"));
+    let (mut cells_run, mut cells_resumed) = (0usize, 0usize);
+    for (si, spec) in specs.iter().enumerate() {
+        // This spec's resumed records: skipped by the engine and (in
+        // fold mode) preloaded into the reorder buffer so the fold
+        // still sees one contiguous canonical stream.
+        let mut preload: BTreeMap<usize, RunRecord> = BTreeMap::new();
+        for index in 0..spec.cell_count() {
+            if let Some(record) = resumed.remove(&(si, index)) {
+                preload.insert(index, record);
+            }
+        }
+        cells_resumed += preload.len();
+        let skip: Vec<bool> = (0..spec.cell_count()).map(|i| preload.contains_key(&i)).collect();
+        let grid = spec.fingerprint();
+        let states = spec.states();
+        let sink = Mutex::new(SinkState {
+            writer: writer.take(),
+            pending: if do_fold { preload } else { BTreeMap::new() },
+            next: 0,
+            ran: 0,
+            fold: &mut *fold,
+        });
+        if do_fold {
+            sink.lock().drain(si, spec);
+        }
+        run_cells(
+            &states,
+            &spec.alphas,
+            &spec.ks,
+            spec.objective,
+            ctx.warm_start,
+            shard,
+            &|index| skip[index],
+            &|cell, result| {
+                let record = RunRecord::new(
+                    spec.class(),
+                    spec.n,
+                    spec.alphas[cell.ai],
+                    spec.ks[cell.ki],
+                    cell.rep,
+                    &result,
+                );
+                let mut s = sink.lock();
+                s.ran += 1;
+                if let Some(w) = s.writer.as_mut() {
+                    w.push(&JournalEntry {
+                        sweep: spec.label.clone(),
+                        cell: cell.index,
+                        grid,
+                        record: record.clone(),
+                    })
+                    .expect("appending to the run journal");
+                }
+                if do_fold {
+                    s.pending.insert(cell.index, record);
+                    s.drain(si, spec);
+                }
+            },
+            None,
+        );
+        let mut s = sink.into_inner();
+        if do_fold {
+            s.drain(si, spec);
+            assert_eq!(
+                s.next,
+                spec.cell_count(),
+                "sweep '{}' must fold every cell exactly once",
+                spec.label
+            );
+        }
+        cells_run += s.ran;
+        writer = s.writer.take();
+    }
+    drop(writer);
+    if let Some(path) = path.as_ref() {
+        journal::compact(path, specs).expect("compacting the run journal");
+    }
+    ExecReport {
+        folded: do_fold,
+        cells_run,
+        cells_resumed,
+        journal: path,
+        shard: (shard.count > 1).then_some((shard.index, shard.count)),
+    }
+}
+
+fn merge(
+    ctx: &SweepContext,
+    experiment: &str,
+    specs: &[SweepSpec],
+    count: usize,
+    fold: &mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
+) -> ExecReport {
+    assert!(count >= 1, "merge needs at least one shard");
+    let dir = ctx.journal_dir.as_ref().expect("merge mode requires a results directory");
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    for index in 0..count {
+        let path = journal::shard_journal_path(dir, experiment, index, count);
+        assert!(
+            path.is_file(),
+            "missing shard journal {}; run `{experiment} --shards {count} --shard {index}` first",
+            path.display()
+        );
+        entries.extend(journal::read(&path).expect("reading shard journal"));
+    }
+    // Canonical order: position in the plan, then cell index. The
+    // position map is computed once — plans are small, but journals
+    // can be 36 000 entries, so the sort key must not rescan specs.
+    let positions: HashMap<&str, usize> =
+        specs.iter().enumerate().map(|(i, s)| (s.label.as_str(), i)).collect();
+    entries.retain(|e| positions.contains_key(e.sweep.as_str()));
+    entries.sort_by_key(|e| (positions[e.sweep.as_str()], e.cell));
+    entries.dedup_by(|a, b| a.sweep == b.sweep && a.cell == b.cell);
+    // Completeness + validity, then fold in canonical order.
+    let mut cursor = 0usize;
+    for (si, spec) in specs.iter().enumerate() {
+        for index in 0..spec.cell_count() {
+            let entry = entries.get(cursor).unwrap_or_else(|| {
+                panic!(
+                    "shard journals are incomplete: sweep '{}' is missing cell {index} \
+                     (did every shard finish?)",
+                    spec.label
+                )
+            });
+            assert!(
+                entry.sweep == spec.label && entry.cell == index,
+                "shard journals are incomplete: sweep '{}' is missing cell {index} \
+                 (found '{}' cell {}; did every shard finish?)",
+                spec.label,
+                entry.sweep,
+                entry.cell
+            );
+            let cell = spec.cell(index);
+            validate_entry(spec, cell, entry);
+            fold(si, cell, &entry.record);
+            cursor += 1;
+        }
+    }
+    assert_eq!(
+        cursor,
+        entries.len(),
+        "shard journals contain {} entries beyond the current plan's grid \
+         (stale cells from a different profile?); delete them and re-run the shards",
+        entries.len() - cursor
+    );
+    let merged_path = journal::journal_path(dir, experiment);
+    std::fs::create_dir_all(dir).expect("creating the results directory");
+    std::fs::write(&merged_path, journal::render(&entries)).expect("writing the merged journal");
+    ExecReport {
+        folded: true,
+        cells_run: 0,
+        cells_resumed: entries.len(),
+        journal: Some(merged_path),
+        shard: None,
+    }
+}
+
+/// An `α × k` grid of streaming [`Accumulator`]s — the fold-side
+/// counterpart of the paper's per-cell `mean ± CI` tables. Pushing
+/// `None` (a metric undefined for that run, e.g. the diameter of a
+/// disconnected network) is a no-op, mirroring the old
+/// `filter_map` + `Summary::of` pipelines.
+#[derive(Debug, Clone)]
+pub struct MetricGrid {
+    cols: usize,
+    accs: Vec<Accumulator>,
+}
+
+impl MetricGrid {
+    /// A `rows × cols` grid of empty accumulators.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        MetricGrid { cols, accs: vec![Accumulator::new(); rows * cols] }
+    }
+
+    /// Folds an observation into cell `(ri, ci)`; `None` is skipped.
+    pub fn push(&mut self, ri: usize, ci: usize, value: Option<f64>) {
+        if let Some(v) = value {
+            self.accs[ri * self.cols + ci].push(v);
+        }
+    }
+
+    /// The summary of cell `(ri, ci)`.
+    pub fn summary(&self, ri: usize, ci: usize) -> Summary {
+        self.accs[ri * self.cols + ci].summary()
+    }
+
+    /// `mean ± ci` of cell `(ri, ci)` at the given precision.
+    pub fn display(&self, ri: usize, ci: usize, precision: usize) -> String {
+        self.summary(ri, ci).display(precision)
+    }
+}

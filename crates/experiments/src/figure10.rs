@@ -8,63 +8,76 @@
 //! dynamics), and the round count grows slowly with `n`.
 
 use ncg_core::Objective;
-use ncg_dynamics::Outcome;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep, CellResult};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::{RunRecord, SweepSpec};
+use crate::{ExperimentOutput, Profile};
 
-fn rounds_of(cell: &CellResult) -> Option<f64> {
-    match cell.result.outcome {
-        Outcome::Converged { rounds } => Some(rounds as f64),
-        _ => None,
-    }
+fn rounds_of(rec: &RunRecord) -> Option<f64> {
+    rec.converged.then_some(rec.rounds as f64)
 }
 
-/// Runs the Figure 10 sweeps under the given profile.
+/// Runs the Figure 10 sweeps under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 10 sweeps under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let n_head = profile.headline_tree_n();
     let mut out = ExperimentOutput::new("figure10");
+    // Left panel: rounds vs α at the headline n; right panel: rounds
+    // vs n at α = 2, one sweep per tree size.
+    let mut specs = vec![SweepSpec::tree(
+        "vs_alpha",
+        n_head,
+        profile.reps,
+        profile.base_seed,
+        profile.alphas.clone(),
+        profile.ks.clone(),
+        Objective::Max,
+    )];
+    for &n in &profile.tree_ns {
+        specs.push(SweepSpec::tree(
+            format!("vs_n{n}"),
+            n,
+            profile.reps,
+            profile.base_seed,
+            vec![2.0],
+            profile.ks.clone(),
+            Objective::Max,
+        ));
+    }
+    let mut left = MetricGrid::new(profile.alphas.len(), profile.ks.len());
+    let mut by_n: Vec<MetricGrid> =
+        profile.tree_ns.iter().map(|_| MetricGrid::new(1, profile.ks.len())).collect();
     let mut cycles = 0usize;
     let mut total = 0usize;
-
-    // Left panel: rounds vs α at the headline n.
-    let states = workloads::tree_states(n_head, profile.reps, profile.base_seed);
-    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
-    total += results.len();
-    cycles += results.iter().filter(|c| matches!(c.result.outcome, Outcome::Cycled { .. })).count();
-    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
+    let report = engine::execute(ctx, "figure10", &specs, &mut |si, cell, rec| {
+        total += 1;
+        cycles += rec.cycled() as usize;
+        if si == 0 {
+            left.push(cell.ai, cell.ki, rounds_of(rec));
+        } else {
+            by_n[si - 1].push(0, cell.ki, rounds_of(rec));
+        }
+    });
+    if let Some(note) = report.shard_note("figure10") {
+        out.notes = note;
+        return out;
+    }
     let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
-    let left = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(&cells.iter().filter_map(rounds_of).collect::<Vec<f64>>()).display(1)
-    });
-    out.push_table(format!("rounds_vs_alpha_n{n_head}"), left);
-
-    // Right panel: rounds vs n at α = 2.
-    let mut by_n: Vec<Vec<Summary>> = Vec::new();
-    for &n in &profile.tree_ns {
-        let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-        let results = sweep(&states, &[2.0], &profile.ks, Objective::Max, None);
-        total += results.len();
-        cycles +=
-            results.iter().filter(|c| matches!(c.result.outcome, Outcome::Cycled { .. })).count();
-        let grouped = by_cell(&results, &[2.0], &profile.ks, profile.reps);
-        by_n.push(
-            grouped
-                .iter()
-                .map(|(_, cells)| {
-                    Summary::of(&cells.iter().filter_map(rounds_of).collect::<Vec<f64>>())
-                })
-                .collect(),
-        );
-    }
+    out.push_table(
+        format!("rounds_vs_alpha_n{n_head}"),
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| left.display(ri, ci, 1)),
+    );
     let n_labels: Vec<String> = profile.tree_ns.iter().map(|n| n.to_string()).collect();
-    let right = grid_table("n", &n_labels, &col_labels, |ri, ci| by_n[ri][ci].display(1));
-    out.push_table("rounds_vs_n_alpha2", right);
-
+    out.push_table(
+        "rounds_vs_n_alpha2",
+        grid_table("n", &n_labels, &col_labels, |ri, ci| by_n[ri].display(0, ci, 1)),
+    );
     out.notes = format!(
         "Figure 10 — convergence rounds on random trees; profile: {} ({} reps). \
          Best-response cycles observed: {cycles} / {total} dynamics \
@@ -77,6 +90,9 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::sweep;
+    use crate::workloads;
+    use ncg_dynamics::Outcome;
 
     #[test]
     fn convergence_is_fast_on_trees() {

@@ -8,43 +8,64 @@
 //! players already see almost the whole 100-node network.
 
 use ncg_core::Objective;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
-/// Runs the Figure 5 sweep under the given profile.
+/// Runs the Figure 5 sweep under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 5 sweep under the given execution context
+/// (local / shard / merge — see [`crate::engine`]).
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let n = profile.headline_tree_n();
     let mut out = ExperimentOutput::new("figure5");
+    let specs = vec![SweepSpec::tree(
+        "main",
+        n,
+        profile.reps,
+        profile.base_seed,
+        profile.alphas.clone(),
+        profile.ks.clone(),
+        Objective::Max,
+    )];
+    let (rows, cols) = (profile.alphas.len(), profile.ks.len());
+    let mut avg = MetricGrid::new(rows, cols);
+    let mut min = MetricGrid::new(rows, cols);
+    let report = engine::execute(ctx, "figure5", &specs, &mut |_, cell, rec| {
+        avg.push(cell.ai, cell.ki, Some(rec.avg_view));
+        min.push(cell.ai, cell.ki, Some(rec.min_view as f64));
+    });
+    if let Some(note) = report.shard_note("figure5") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "Figure 5 — view sizes at equilibrium on random trees (n = {n}); profile: {} ({} reps)",
         profile.name, profile.reps
     );
-    let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
-    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
     let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
-    let cell_summary = |ri: usize, ci: usize, f: &dyn Fn(&crate::sweep::CellResult) -> f64| {
-        let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(&cells.iter().map(f).collect::<Vec<f64>>())
-    };
-    let avg = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        cell_summary(ri, ci, &|c| c.result.final_metrics.avg_view).display(1)
-    });
-    let min = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        cell_summary(ri, ci, &|c| c.result.final_metrics.min_view as f64).display(1)
-    });
-    out.push_table("avg_view_size", avg);
-    out.push_table("min_view_size", min);
+    out.push_table(
+        "avg_view_size",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| avg.display(ri, ci, 1)),
+    );
+    out.push_table(
+        "min_view_size",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| min.display(ri, ci, 1)),
+    );
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{by_cell, sweep};
+    use crate::workloads;
 
     #[test]
     fn view_sizes_grow_with_k_and_shrink_with_alpha() {

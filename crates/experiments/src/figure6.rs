@@ -7,47 +7,60 @@
 //! threshold it is almost constant.
 
 use ncg_core::Objective;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
 /// The two `α` panels of the figure.
 pub const PANEL_ALPHAS: [f64; 2] = [1.0, 10.0];
 
-/// Runs the Figure 6 sweep under the given profile.
+/// Runs the Figure 6 sweep under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 6 sweep under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("figure6");
+    // One sweep per (panel α, tree size): the starting networks
+    // differ by n, and each sweep is a 1 × |ks| grid.
+    let mut specs = Vec::new();
+    for alpha in PANEL_ALPHAS {
+        for &n in &profile.tree_ns {
+            specs.push(SweepSpec::tree(
+                format!("alpha{alpha}_n{n}"),
+                n,
+                profile.reps,
+                profile.base_seed,
+                vec![alpha],
+                profile.ks.clone(),
+                Objective::Max,
+            ));
+        }
+    }
+    // quality[panel][n-index] is a 1 × |ks| grid.
+    let mut quality: Vec<MetricGrid> =
+        specs.iter().map(|_| MetricGrid::new(1, profile.ks.len())).collect();
+    let report = engine::execute(ctx, "figure6", &specs, &mut |si, cell, rec| {
+        quality[si].push(0, cell.ki, rec.quality);
+    });
+    if let Some(note) = report.shard_note("figure6") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "Figure 6 — equilibrium quality vs n on random trees, α ∈ {{1, 10}}; profile: {} ({} reps)",
         profile.name, profile.reps
     );
     let row_labels: Vec<String> = profile.tree_ns.iter().map(|n| n.to_string()).collect();
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
-    for alpha in PANEL_ALPHAS {
-        // One sweep per tree size (the starting networks differ by n).
-        let mut qualities: Vec<Vec<Summary>> = Vec::new();
-        for &n in &profile.tree_ns {
-            let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-            let results = sweep(&states, &[alpha], &profile.ks, Objective::Max, None);
-            let grouped = by_cell(&results, &[alpha], &profile.ks, profile.reps);
-            qualities.push(
-                grouped
-                    .iter()
-                    .map(|(_, cells)| {
-                        Summary::of(
-                            &cells
-                                .iter()
-                                .filter_map(|c| c.result.final_metrics.quality)
-                                .collect::<Vec<f64>>(),
-                        )
-                    })
-                    .collect(),
-            );
-        }
-        let table =
-            grid_table("n", &row_labels, &col_labels, |ri, ci| qualities[ri][ci].display(2));
+    for (pi, alpha) in PANEL_ALPHAS.iter().enumerate() {
+        let base = pi * profile.tree_ns.len();
+        let table = grid_table("n", &row_labels, &col_labels, |ri, ci| {
+            quality[base + ri].display(0, ci, 2)
+        });
         out.push_table(format!("quality_alpha{alpha}"), table);
     }
     out
@@ -56,6 +69,8 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::sweep;
+    use crate::workloads;
 
     #[test]
     fn two_panels_with_one_row_per_n() {

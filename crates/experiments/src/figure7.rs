@@ -8,20 +8,59 @@
 //! eye-guideline role the bold red curve plays in the paper.
 
 use ncg_core::Objective;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
 /// The `α` the figure fixes.
 pub const ALPHA: f64 = 2.0;
 
-/// Runs the Figure 7 sweep under the given profile.
+/// Runs the Figure 7 sweep under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 7 sweep under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("figure7");
     // Restrict to finite k (the trend is about the local regime).
     let ks: Vec<u32> = profile.ks.iter().copied().filter(|&k| k <= 30).collect();
+    let (er_n, er_p) = profile.headline_er();
+    let mut specs: Vec<SweepSpec> = profile
+        .tree_ns
+        .iter()
+        .map(|&n| {
+            SweepSpec::tree(
+                format!("tree_n{n}"),
+                n,
+                profile.reps,
+                profile.base_seed,
+                vec![ALPHA],
+                ks.clone(),
+                Objective::Max,
+            )
+        })
+        .collect();
+    specs.push(SweepSpec::er(
+        "er",
+        er_n,
+        er_p,
+        profile.reps,
+        profile.base_seed,
+        vec![ALPHA],
+        ks.clone(),
+        Objective::Max,
+    ));
+    let mut quality: Vec<MetricGrid> = specs.iter().map(|_| MetricGrid::new(1, ks.len())).collect();
+    let report = engine::execute(ctx, "figure7", &specs, &mut |si, cell, rec| {
+        quality[si].push(0, cell.ki, rec.quality);
+    });
+    if let Some(note) = report.shard_note("figure7") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "Figure 7 — equilibrium quality vs k at α = {ALPHA}; trend f(k) = k/2^(log₂²k) \
          normalised at k = {}; profile: {} ({} reps)",
@@ -30,35 +69,17 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
         profile.reps
     );
     let row_labels: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+    let tree_count = profile.tree_ns.len();
 
-    // Left panel: trees, one column per n.
-    let mut tree_cols: Vec<Vec<Summary>> = Vec::new();
-    for &n in &profile.tree_ns {
-        let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-        let results = sweep(&states, &[ALPHA], &ks, Objective::Max, None);
-        let grouped = by_cell(&results, &[ALPHA], &ks, profile.reps);
-        tree_cols.push(
-            grouped
-                .iter()
-                .map(|(_, cells)| {
-                    Summary::of(
-                        &cells
-                            .iter()
-                            .filter_map(|c| c.result.final_metrics.quality)
-                            .collect::<Vec<f64>>(),
-                    )
-                })
-                .collect(),
-        );
-    }
-    // Theory trend, normalised to the first k of the largest n series.
-    let anchor = tree_cols.last().map(|col| col[0].mean).unwrap_or(1.0);
+    // Left panel: trees, one column per n, plus the theory trend
+    // normalised to the first k of the largest n series.
+    let anchor = if tree_count > 0 { quality[tree_count - 1].summary(0, 0).mean } else { 1.0 };
     let trend0 = ncg_bounds::fig7_trend(ks[0]).max(f64::MIN_POSITIVE);
     let mut col_labels: Vec<String> = profile.tree_ns.iter().map(|n| format!("n={n}")).collect();
     col_labels.push("trend f(k)".into());
     let trees = grid_table("k", &row_labels, &col_labels, |ri, ci| {
-        if ci < tree_cols.len() {
-            tree_cols[ci][ri].display(2)
+        if ci < tree_count {
+            quality[ci].display(0, ri, 2)
         } else {
             format!("{:.2}", anchor * ncg_bounds::fig7_trend(ks[ri]) / trend0)
         }
@@ -66,16 +87,8 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     out.push_table("trees", trees);
 
     // Right panel: the headline ER row.
-    let (er_n, er_p) = profile.headline_er();
-    let states = workloads::er_states(er_n, er_p, profile.reps, profile.base_seed);
-    let results = sweep(&states, &[ALPHA], &ks, Objective::Max, None);
-    let grouped = by_cell(&results, &[ALPHA], &ks, profile.reps);
     let er = grid_table("k", &row_labels, &[format!("n={er_n}, p={er_p}")], |ri, _| {
-        let (_, cells) = grouped[ri];
-        Summary::of(
-            &cells.iter().filter_map(|c| c.result.final_metrics.quality).collect::<Vec<f64>>(),
-        )
-        .display(2)
+        quality[tree_count].display(0, ri, 2)
     });
     out.push_table("er", er);
     out
@@ -84,6 +97,8 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{by_cell, sweep};
+    use crate::workloads;
 
     #[test]
     fn tables_have_trend_column_and_k_rows() {

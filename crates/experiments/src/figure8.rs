@@ -7,43 +7,64 @@
 //! asymmetry that motivates the fairness discussion of Figure 9.
 
 use ncg_core::Objective;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep, CellResult};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
-/// Runs the Figure 8 sweep under the given profile.
+/// Runs the Figure 8 sweep under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 8 sweep under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let (n, p) = profile.headline_er();
     let mut out = ExperimentOutput::new("figure8");
+    let specs = vec![SweepSpec::er(
+        "main",
+        n,
+        p,
+        profile.reps,
+        profile.base_seed,
+        profile.alphas.clone(),
+        profile.ks.clone(),
+        Objective::Max,
+    )];
+    let (rows, cols) = (profile.alphas.len(), profile.ks.len());
+    let mut deg = MetricGrid::new(rows, cols);
+    let mut bought = MetricGrid::new(rows, cols);
+    let report = engine::execute(ctx, "figure8", &specs, &mut |_, cell, rec| {
+        deg.push(cell.ai, cell.ki, Some(rec.max_degree as f64));
+        bought.push(cell.ai, cell.ki, Some(rec.max_bought as f64));
+    });
+    if let Some(note) = report.shard_note("figure8") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "Figure 8 — max degree / max bought edges vs α on G({n}, {p}); profile: {} ({} reps)",
         profile.name, profile.reps
     );
-    let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
-    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
-    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
     let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
-    let summarise = |ri: usize, ci: usize, f: &dyn Fn(&CellResult) -> f64| {
-        let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(&cells.iter().map(f).collect::<Vec<f64>>()).display(1)
-    };
-    let deg = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        summarise(ri, ci, &|c| c.result.final_metrics.max_degree as f64)
-    });
-    let bought = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        summarise(ri, ci, &|c| c.result.final_metrics.max_bought as f64)
-    });
-    out.push_table("max_degree", deg);
-    out.push_table("max_bought", bought);
+    out.push_table(
+        "max_degree",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| deg.display(ri, ci, 1)),
+    );
+    out.push_table(
+        "max_bought",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| bought.display(ri, ci, 1)),
+    );
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::sweep;
+    use crate::workloads;
 
     #[test]
     fn hubs_form_under_cheap_edges_with_wide_views() {

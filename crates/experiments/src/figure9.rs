@@ -6,39 +6,57 @@
 //! — restricting the players' views flattens the cost distribution.
 
 use ncg_core::Objective;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
-/// Runs the Figure 9 sweep under the given profile.
+/// Runs the Figure 9 sweep under the given profile (local mode).
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the Figure 9 sweep under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let (n, p) = profile.headline_er();
     let mut out = ExperimentOutput::new("figure9");
+    let specs = vec![SweepSpec::er(
+        "main",
+        n,
+        p,
+        profile.reps,
+        profile.base_seed,
+        profile.alphas.clone(),
+        profile.ks.clone(),
+        Objective::Max,
+    )];
+    let mut unfair = MetricGrid::new(profile.alphas.len(), profile.ks.len());
+    let report = engine::execute(ctx, "figure9", &specs, &mut |_, cell, rec| {
+        unfair.push(cell.ai, cell.ki, rec.unfairness);
+    });
+    if let Some(note) = report.shard_note("figure9") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "Figure 9 — unfairness (max/min player cost) vs α on G({n}, {p}); profile: {} ({} reps)",
         profile.name, profile.reps
     );
-    let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
-    let results = sweep(&states, &profile.alphas, &profile.ks, Objective::Max, None);
-    let grouped = by_cell(&results, &profile.alphas, &profile.ks, profile.reps);
     let row_labels: Vec<String> = profile.alphas.iter().map(|a| format!("{a}")).collect();
     let col_labels: Vec<String> = profile.ks.iter().map(|k| format!("k={k}")).collect();
-    let table = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        let (_, cells) = grouped[ri * profile.ks.len() + ci];
-        Summary::of(
-            &cells.iter().filter_map(|c| c.result.final_metrics.unfairness).collect::<Vec<f64>>(),
-        )
-        .display(2)
-    });
-    out.push_table("unfairness", table);
+    out.push_table(
+        "unfairness",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| unfair.display(ri, ci, 2)),
+    );
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{by_cell, sweep};
+    use crate::workloads;
 
     #[test]
     fn local_views_are_more_fair_than_full_knowledge() {

@@ -1,0 +1,271 @@
+//! Append-only JSONL run journals: the sweep engine's durable
+//! streaming format, and the basis of resume and shard merging.
+//!
+//! Every finished cell becomes one [`JournalEntry`] line —
+//! `{"sweep": <label>, "cell": <canonical index>, "record": {…}}` —
+//! appended (and flushed) the moment the cell completes, so a killed
+//! run loses at most the cells still in flight. On restart, entries
+//! already present are *not* re-run: the engine replays them into the
+//! fold and only computes the missing cells.
+//!
+//! File layout under the results directory:
+//!
+//! * `<experiment>_runs.jsonl` — the canonical journal of a
+//!   single-process run, and the output of `merge`;
+//! * `<experiment>_runs.shard<i>of<M>.jsonl` — shard `i`'s journal.
+//!
+//! Canonical journals are sorted by `(sweep order, cell index)`;
+//! [`compact`] rewrites a journal into that order after a resumed run
+//! so the final artifact is byte-identical to an uninterrupted one.
+//! Byte-identity holds because serialisation is deterministic (struct
+//! field order, shortest round-trip float formatting), so
+//! parse → re-serialise is the identity on journal lines.
+
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::{RunRecord, SweepSpec};
+
+/// One journal line: which sweep of the experiment, which canonical
+/// cell, the sweep's grid fingerprint, and the run's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// The sweep's stable label within its experiment.
+    pub sweep: String,
+    /// Canonical linear cell index within that sweep.
+    pub cell: usize,
+    /// [`SweepSpec::fingerprint`] of the grid that produced the
+    /// record — how resume and merge detect journals written under a
+    /// different seed, repetition count, workload, or `α`/`k` grid.
+    pub grid: u64,
+    /// The run's streamed record.
+    pub record: RunRecord,
+}
+
+/// Path of the canonical (single-process / merged) journal.
+pub fn journal_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("{experiment}_runs.jsonl"))
+}
+
+/// Path of one shard's journal.
+pub fn shard_journal_path(dir: &Path, experiment: &str, index: usize, count: usize) -> PathBuf {
+    dir.join(format!("{experiment}_runs.shard{index}of{count}.jsonl"))
+}
+
+/// An append-mode JSONL writer that flushes after every entry, so a
+/// crash loses only unfinished cells.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<fs::File>,
+}
+
+impl JournalWriter {
+    /// Opens (creating parent directories and the file if needed) the
+    /// journal at `path` for appending. If a previous run was killed
+    /// mid-write, the file may end in a torn half-line; it is
+    /// newline-terminated first so appended entries never glue onto
+    /// the fragment (the fragment itself is dropped as unparsable by
+    /// [`read`] and [`compact`]).
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let torn = matches!(fs::read(path), Ok(bytes) if !bytes.is_empty() && bytes.last() != Some(&b'\n'));
+        let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut writer = JournalWriter { path: path.to_path_buf(), file: BufWriter::new(file) };
+        if torn {
+            writer.file.write_all(b"\n")?;
+            writer.file.flush()?;
+        }
+        Ok(writer)
+    }
+
+    /// Appends one entry and flushes it to disk.
+    pub fn push(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
+        let line = serde_json::to_string(entry)
+            .map_err(|e| std::io::Error::other(format!("serialising journal entry: {e}")))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads a journal, returning its parsable entries in file order.
+/// A missing file reads as empty; unparsable lines (a line truncated
+/// by a kill, garbage) are skipped — the engine simply recomputes
+/// those cells.
+pub fn read(path: &Path) -> std::io::Result<Vec<JournalEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text.lines().filter_map(|line| serde_json::from_str(line).ok()).collect())
+}
+
+/// Serialises entries to JSONL text (one line per entry).
+pub fn render(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for entry in entries {
+        out.push_str(&serde_json::to_string(entry).expect("journal entries always serialise"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Rewrites the journal at `path` in canonical order against the
+/// current plan: entries sorted by `(position of sweep in specs,
+/// cell index)`, de-duplicated by `(sweep, cell)` keeping the first
+/// occurrence. Entries that no current spec accounts for — a stale
+/// sweep label, an out-of-range cell, or a mismatched grid
+/// fingerprint — are dropped, so a compacted journal only ever
+/// contains lines a fresh run of the same plan would write. The
+/// rewrite goes through a temp file + rename, so a crash cannot
+/// destroy the journal.
+pub fn compact(path: &Path, specs: &[SweepSpec]) -> std::io::Result<()> {
+    let mut entries = read(path)?;
+    let order = |e: &JournalEntry| {
+        specs.iter().position(|s| {
+            s.label == e.sweep && e.cell < s.cell_count() && e.grid == s.fingerprint()
+        })
+    };
+    entries.retain(|e| order(e).is_some());
+    entries.sort_by_key(|e| (order(e).expect("retained above"), e.cell));
+    entries.dedup_by(|a, b| a.sweep == b.sweep && a.cell == b.cell);
+    let tmp = path.with_extension("jsonl.tmp");
+    fs::write(&tmp, render(&entries))?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncg_core::Objective;
+
+    fn spec(label: &str, alpha: f64, k: u32, reps: usize) -> SweepSpec {
+        SweepSpec::tree(label, 10, reps, 7, vec![alpha], vec![k], Objective::Max)
+    }
+
+    fn entry(spec: &SweepSpec, cell: usize) -> JournalEntry {
+        let id = spec.cell(cell);
+        JournalEntry {
+            sweep: spec.label.clone(),
+            cell,
+            grid: spec.fingerprint(),
+            record: RunRecord {
+                class: spec.class().into(),
+                n: spec.n,
+                alpha: spec.alphas[id.ai],
+                k: spec.ks[id.ki],
+                rep: id.rep,
+                converged: true,
+                capped: false,
+                rounds: 2,
+                moves: 3,
+                diameter: Some(4),
+                quality: Some(1.25),
+                max_degree: 3,
+                max_bought: 2,
+                min_view: 4,
+                avg_view: 6.5,
+                unfairness: None,
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ncg_journal_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = temp_path("rt");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        let mut w = JournalWriter::append(&path).unwrap();
+        let s = spec("main", 0.5, 2, 2);
+        let entries = vec![entry(&s, 1), entry(&s, 0)];
+        for e in &entries {
+            w.push(e).unwrap();
+        }
+        drop(w);
+        assert_eq!(read(&path).unwrap(), entries);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reads_empty_and_truncated_lines_are_skipped() {
+        let dir = temp_path("trunc");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        assert!(read(&path).unwrap().is_empty());
+        let mut w = JournalWriter::append(&path).unwrap();
+        let good = entry(&spec("main", 1.0, 3, 1), 0);
+        w.push(&good).unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append half a line.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"sweep\":\"main\",\"cell\":1,\"rec");
+        fs::write(&path, text).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![good]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_sorts_dedups_and_round_trips_bytes() {
+        let dir = temp_path("compact");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        let a = spec("a", 0.025, 2, 2);
+        let b = spec("b", 7.0, 1000, 1);
+        let specs = vec![a.clone(), b.clone()];
+        let canonical = vec![entry(&a, 0), entry(&a, 1), entry(&b, 0)];
+        // Write shuffled, with a duplicate, a stale-label entry, an
+        // out-of-range cell, and a wrong-fingerprint entry.
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.push(&canonical[2]).unwrap();
+        w.push(&canonical[1]).unwrap();
+        w.push(&JournalEntry { sweep: "stale".into(), ..canonical[0].clone() }).unwrap();
+        w.push(&JournalEntry { cell: 9, ..canonical[0].clone() }).unwrap();
+        w.push(&JournalEntry { grid: 123, ..canonical[0].clone() }).unwrap();
+        w.push(&canonical[0]).unwrap();
+        w.push(&canonical[1]).unwrap();
+        drop(w);
+        compact(&path, &specs).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), render(&canonical));
+        // Compacting a canonical journal is a byte-level no-op.
+        compact(&path, &specs).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), render(&canonical));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_separates_profiles() {
+        let base = spec("main", 0.5, 2, 3);
+        assert_eq!(base.fingerprint(), spec("main", 0.5, 2, 3).fingerprint());
+        let mut other = base.clone();
+        other.seed ^= 1;
+        assert_ne!(base.fingerprint(), other.fingerprint(), "seed must change the fingerprint");
+        assert_ne!(base.fingerprint(), spec("main", 0.5, 2, 2).fingerprint(), "reps");
+        assert_ne!(base.fingerprint(), spec("main", 0.7, 2, 3).fingerprint(), "alpha grid");
+        assert_ne!(base.fingerprint(), spec("main", 0.5, 3, 3).fingerprint(), "k grid");
+        let mut er = base.clone();
+        er.workload = crate::sweep::Workload::Er(0.1);
+        assert_ne!(base.fingerprint(), er.fingerprint(), "workload family");
+        let mut er2 = er.clone();
+        er2.workload = crate::sweep::Workload::Er(0.2);
+        assert_ne!(er.fingerprint(), er2.fingerprint(), "edge probability p");
+        let mut sum = base.clone();
+        sum.objective = Objective::Sum;
+        assert_ne!(base.fingerprint(), sum.fingerprint(), "objective");
+    }
+}

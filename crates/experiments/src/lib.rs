@@ -29,10 +29,23 @@
 //! [`Profile::paper`] (the paper's exact 36 000-run grid — hours).
 //! Runs are seeded and bit-reproducible; the dynamics themselves are
 //! deterministic given the initial state.
+//!
+//! ## The sweep engine
+//!
+//! Dynamics experiments run through a streaming, shardable engine
+//! ([`sweep`] for the cell work-list, [`engine`] for orchestration,
+//! [`journal`] for the JSONL run journals): every finished cell is
+//! streamed to an append-only journal and folded into `O(grid)`
+//! aggregates, grids can be partitioned across processes
+//! (`--shards M --shard i`) and merged back (`merge`) with
+//! byte-identical artifacts, killed runs resume from their journal,
+//! and dynamics are warm-started per repetition
+//! ([`ncg_dynamics::CacheArena`]). See DESIGN.md §7.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod figure10;
 pub mod figure3;
 pub mod figure4;
@@ -42,6 +55,7 @@ pub mod figure7;
 pub mod figure8;
 pub mod figure9;
 pub mod figures12;
+pub mod journal;
 pub mod lower_bounds;
 pub mod output;
 pub mod profile;
@@ -51,5 +65,6 @@ pub mod table1;
 pub mod table2;
 pub mod workloads;
 
+pub use engine::{ExecReport, MetricGrid, SweepContext, SweepMode};
 pub use output::ExperimentOutput;
 pub use profile::Profile;

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! ncg-experiments <experiment> [--full] [--paper] [--out DIR] [--seed N] [--reps N]
+//!                              [--shards M --shard I] [--cold]
+//! ncg-experiments merge <experiment> --shards M [--out DIR] [profile flags]
 //!
 //! experiments: table1 table2 figures12 figure3 figure4 figure5
 //!              figure6 figure7 figure8 figure9 figure10
@@ -13,6 +15,18 @@
 //! --out DIR        results directory (default: results/)
 //! --seed N         override the base seed
 //! --reps N         override the repetition count of the profile
+//! --shards M       split the sweep grid into M deterministic shards
+//!                  (partitioned by repetition)
+//! --shard I        run only shard I (0-based); tables are rendered
+//!                  by `merge` once every shard has finished
+//! --cold           disable per-repetition warm starts (A/B runs;
+//!                  results are bit-identical either way)
+//!
+//! Dynamics sweeps stream every finished cell to an append-only
+//! JSONL journal under --out; re-running after a kill resumes from
+//! the journal. `merge` folds the M shard journals into the same
+//! tables and canonical JSONL a single-process run produces,
+//! byte-for-byte.
 //! ```
 
 use std::path::PathBuf;
@@ -20,7 +34,8 @@ use std::process::ExitCode;
 
 use ncg_experiments::{
     figure10, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figures12,
-    lower_bounds, sum_extension, table1, table2, ExperimentOutput, Profile,
+    lower_bounds, sum_extension, table1, table2, ExperimentOutput, Profile, SweepContext,
+    SweepMode,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -39,21 +54,27 @@ const EXPERIMENTS: &[&str] = &[
     "sum-extension",
 ];
 
-fn run_one(name: &str, profile: &Profile) -> Option<ExperimentOutput> {
+/// The experiments that run `(α, k, rep)` dynamics sweeps and hence
+/// understand sharding, journaling, and merging. The rest are cheap
+/// deterministic computations that every mode just runs locally.
+const SWEEP_EXPERIMENTS: &[&str] =
+    &["figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "sum-extension"];
+
+fn run_one(name: &str, profile: &Profile, ctx: &SweepContext) -> Option<ExperimentOutput> {
     let out = match name {
         "table1" => table1::run(profile),
         "table2" => table2::run(profile),
         "figures12" => figures12::run(profile),
         "figure3" => figure3::run(profile),
         "figure4" => figure4::run(profile),
-        "figure5" => figure5::run(profile),
-        "figure6" => figure6::run(profile),
-        "figure7" => figure7::run(profile),
-        "figure8" => figure8::run(profile),
-        "figure9" => figure9::run(profile),
-        "figure10" => figure10::run(profile),
+        "figure5" => figure5::run_ctx(profile, ctx),
+        "figure6" => figure6::run_ctx(profile, ctx),
+        "figure7" => figure7::run_ctx(profile, ctx),
+        "figure8" => figure8::run_ctx(profile, ctx),
+        "figure9" => figure9::run_ctx(profile, ctx),
+        "figure10" => figure10::run_ctx(profile, ctx),
         "lower-bounds" => lower_bounds::run(profile),
-        "sum-extension" => sum_extension::run(profile),
+        "sum-extension" => sum_extension::run_ctx(profile, ctx),
         _ => return None,
     };
     Some(out)
@@ -61,7 +82,9 @@ fn run_one(name: &str, profile: &Profile) -> Option<ExperimentOutput> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ncg-experiments <experiment|all> [--full|--paper] [--out DIR] [--seed N]\n\
+        "usage: ncg-experiments <experiment|all> [--full|--paper] [--out DIR] [--seed N] \
+         [--reps N] [--shards M --shard I] [--cold]\n\
+         \u{20}      ncg-experiments merge <experiment|all> --shards M [--out DIR] [profile flags]\n\
          experiments: {}",
         EXPERIMENTS.join(" ")
     );
@@ -70,16 +93,20 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut target: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut profile = Profile::quick();
     let mut out_dir = PathBuf::from("results");
     let mut seed_override: Option<u64> = None;
     let mut reps_override: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut shard: Option<usize> = None;
+    let mut warm_start = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" | "--paper" => profile = Profile::paper(),
             "--smoke" => profile = Profile::smoke(),
+            "--cold" => warm_start = false,
             "--out" => {
                 i += 1;
                 match args.get(i) {
@@ -101,9 +128,21 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            name if !name.starts_with('-') && target.is_none() => {
-                target = Some(name.to_string());
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(m) if m > 0 => shards = Some(m),
+                    _ => return usage(),
+                }
             }
+            "--shard" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(idx) => shard = Some(idx),
+                    None => return usage(),
+                }
+            }
+            name if !name.starts_with('-') => positionals.push(name.to_string()),
             _ => return usage(),
         }
         i += 1;
@@ -115,7 +154,26 @@ fn main() -> ExitCode {
     if let Some(reps) = reps_override {
         profile.reps = reps;
     }
-    let Some(target) = target else { return usage() };
+    // Positionals: either `<experiment>` or `merge <experiment>`.
+    let (merging, target) = match positionals.as_slice() {
+        [target] if target != "merge" => (false, target.clone()),
+        [merge, target] if merge == "merge" => (true, target.clone()),
+        _ => return usage(),
+    };
+    let mode = match (merging, shards, shard) {
+        (true, Some(count), None) => SweepMode::Merge { count },
+        (true, _, _) => {
+            eprintln!("merge requires --shards M (and no --shard)");
+            return usage();
+        }
+        (false, Some(count), Some(index)) if index < count => SweepMode::Shard { count, index },
+        (false, None, None) => SweepMode::Local,
+        _ => {
+            eprintln!("--shards M and --shard I (with I < M) must be given together");
+            return usage();
+        }
+    };
+    let ctx = SweepContext { mode, journal_dir: Some(out_dir.clone()), warm_start };
     let names: Vec<&str> = if target == "all" {
         EXPERIMENTS.to_vec()
     } else if EXPERIMENTS.contains(&target.as_str()) {
@@ -124,9 +182,34 @@ fn main() -> ExitCode {
         return usage();
     };
     for name in names {
-        eprintln!("[ncg-experiments] running {name} with the '{}' profile…", profile.name);
+        let is_sweep = SWEEP_EXPERIMENTS.contains(&name);
+        // Non-sweep experiments are cheap and deterministic: shard 0
+        // and merge produce them; other shards skip them.
+        if !is_sweep {
+            if let SweepMode::Shard { index, .. } = mode {
+                if index != 0 {
+                    eprintln!("[ncg-experiments] {name} has no sweep; left to shard 0");
+                    continue;
+                }
+            }
+        }
+        let verb = match mode {
+            SweepMode::Merge { .. } if is_sweep => "merging",
+            SweepMode::Shard { index, count } if is_sweep => {
+                eprintln!(
+                    "[ncg-experiments] running {name} shard {index} of {count} \
+                     with the '{}' profile…",
+                    profile.name
+                );
+                ""
+            }
+            _ => "running",
+        };
+        if !verb.is_empty() {
+            eprintln!("[ncg-experiments] {verb} {name} with the '{}' profile…", profile.name);
+        }
         let started = std::time::Instant::now();
-        let output = run_one(name, &profile).expect("name validated above");
+        let output = run_one(name, &profile, &ctx).expect("name validated above");
         println!("{}", output.render_console());
         match output.write_to(&out_dir) {
             Ok(paths) => {

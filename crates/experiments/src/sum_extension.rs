@@ -12,79 +12,82 @@
 //! stable networks must have diameter `≤ k` (players see everything).
 
 use ncg_core::Objective;
-use ncg_dynamics::Outcome;
-use ncg_stats::Summary;
 
+use crate::engine::{self, MetricGrid, SweepContext};
 use crate::output::grid_table;
-use crate::sweep::{by_cell, sweep};
-use crate::{workloads, ExperimentOutput, Profile};
+use crate::sweep::SweepSpec;
+use crate::{ExperimentOutput, Profile};
 
-/// Runs the SumNCG extension sweep. Sizes are deliberately modest —
-/// the best responses are exponential-or-heuristic.
+/// Runs the SumNCG extension sweep (local mode). Sizes are
+/// deliberately modest — the best responses are
+/// exponential-or-heuristic.
 pub fn run(profile: &Profile) -> ExperimentOutput {
+    run_ctx(profile, &SweepContext::local())
+}
+
+/// Runs the SumNCG extension sweep under the given execution context.
+pub fn run_ctx(profile: &Profile, ctx: &SweepContext) -> ExperimentOutput {
     let n = profile.tree_ns.iter().copied().min().unwrap_or(20).min(30);
     let mut out = ExperimentOutput::new("sum_extension");
     let alphas: Vec<f64> =
         profile.alphas.iter().copied().filter(|&a| (0.3..=5.0).contains(&a)).collect();
     let ks: Vec<u32> = profile.ks.iter().copied().filter(|&k| k <= 7).collect();
+    let specs = vec![SweepSpec::tree(
+        "main",
+        n,
+        profile.reps,
+        profile.base_seed ^ 0x5u64,
+        alphas.clone(),
+        ks.clone(),
+        Objective::Sum,
+    )];
+    let (rows, cols) = (alphas.len(), ks.len());
+    let mut quality = MetricGrid::new(rows, cols);
+    let mut rounds = MetricGrid::new(rows, cols);
+    // Theorem 4.4 verification counters.
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    let report = engine::execute(ctx, "sum_extension", &specs, &mut |_, cell, rec| {
+        quality.push(cell.ai, cell.ki, rec.quality);
+        rounds.push(cell.ai, cell.ki, rec.converged.then_some(rec.rounds as f64));
+        let (alpha, k) = (alphas[cell.ai], ks[cell.ki]);
+        if k as f64 > 1.0 + 2.0 * alpha.sqrt() && rec.converged {
+            checked += 1;
+            if rec.diameter.unwrap_or(u32::MAX) > k {
+                violations += 1;
+            }
+        }
+    });
+    if let Some(note) = report.shard_note("sum_extension") {
+        out.notes = note;
+        return out;
+    }
     out.notes = format!(
         "EXTENSION (not in the paper): SumNCG best-response dynamics on random trees \
          (n = {n}); exact enumeration on small views, hill climbing beyond; \
          profile: {} ({} reps). Theorem 4.4 check: k > 1 + 2√α ⇒ equilibrium \
-         diameter ≤ k.",
+         diameter ≤ k. Checked {checked} converged runs in the Theorem 4.4 regime: \
+         {violations} violations.",
         profile.name, profile.reps
     );
-    let states = workloads::tree_states(n, profile.reps, profile.base_seed ^ 0x5u64);
-    let results = sweep(&states, &alphas, &ks, Objective::Sum, None);
-    let grouped = by_cell(&results, &alphas, &ks, profile.reps);
     let row_labels: Vec<String> = alphas.iter().map(|a| format!("{a}")).collect();
     let col_labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
-    let quality = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        let (_, cells) = grouped[ri * ks.len() + ci];
-        Summary::of(
-            &cells.iter().filter_map(|c| c.result.final_metrics.quality).collect::<Vec<f64>>(),
-        )
-        .display(2)
-    });
-    let rounds = grid_table("alpha", &row_labels, &col_labels, |ri, ci| {
-        let (_, cells) = grouped[ri * ks.len() + ci];
-        Summary::of(
-            &cells
-                .iter()
-                .filter_map(|c| match c.result.outcome {
-                    Outcome::Converged { rounds } => Some(rounds as f64),
-                    _ => None,
-                })
-                .collect::<Vec<f64>>(),
-        )
-        .display(1)
-    });
-    // Theorem 4.4 verification column.
-    let mut violations = 0usize;
-    let mut checked = 0usize;
-    for ((alpha, k), cells) in &grouped {
-        if *k as f64 > 1.0 + 2.0 * alpha.sqrt() {
-            for c in *cells {
-                if c.result.outcome.converged() {
-                    checked += 1;
-                    if c.result.final_metrics.diameter.unwrap_or(u32::MAX) > *k {
-                        violations += 1;
-                    }
-                }
-            }
-        }
-    }
-    out.notes.push_str(&format!(
-        " Checked {checked} converged runs in the Theorem 4.4 regime: {violations} violations."
-    ));
-    out.push_table("quality", quality);
-    out.push_table("rounds", rounds);
+    out.push_table(
+        "quality",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| quality.display(ri, ci, 2)),
+    );
+    out.push_table(
+        "rounds",
+        grid_table("alpha", &row_labels, &col_labels, |ri, ci| rounds.display(ri, ci, 1)),
+    );
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{by_cell, sweep};
+    use crate::workloads;
 
     #[test]
     fn sum_extension_runs_and_respects_theorem_44() {

@@ -1,10 +1,305 @@
-//! Parallel `(α, k, rep)` sweeps with deterministic result order.
+//! The `(α, k, rep)` sweep engine: a deterministic cell work-list
+//! with warm-started dynamics, process-level sharding, and streaming
+//! per-cell results.
+//!
+//! The seed implementation materialised every [`RunResult`] of a grid
+//! in memory and re-solved every cell from a cold cache. The engine
+//! now walks a [`SweepSpec`]'s cells as a work-list:
+//!
+//! * cells are identified by a [`CellId`] with a canonical linear
+//!   index (`α`-major, then `k`, then `rep`) — the order every
+//!   journal, fold, and table is defined over;
+//! * workers parallelise over *repetitions* so that one
+//!   [`CacheArena`] (view cache + solver scratch) per rep is reused
+//!   across all `(α, k)` cells sharing that initial state — the
+//!   warm-start path of DESIGN.md §7; outcomes are bit-identical to
+//!   cold runs;
+//! * `--shards M --shard i` process-level sharding partitions cells
+//!   by `rep % M` (see [`Shard`]), keeping warm-start groups intact
+//!   and the partition deterministic;
+//! * finished cells are *streamed* to a sink (the higher-level
+//!   [`crate::engine`] journals them as JSONL and folds `O(grid)`
+//!   aggregates) instead of being collected, and the progress counter
+//!   is a lock-free `AtomicUsize`.
+//!
+//! [`sweep`] and [`by_cell`] remain as the collect-style conveniences
+//! for tests, examples, and small library use — now implemented on
+//! the same engine, so they warm-start too.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ncg_core::{GameSpec, GameState, Objective};
-use ncg_dynamics::{run, DynamicsConfig, RunResult};
+use ncg_dynamics::{run, run_with_cache, CacheArena, DynamicsConfig, RunResult};
 use parking_lot::Mutex;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+use crate::workloads;
+
+/// One cell of a sweep grid, with its canonical linear index.
+///
+/// The canonical order is `α`-major, then `k`, then `rep`:
+/// `index = (ai · |ks| + ki) · reps + rep`. Every journal line,
+/// fold call, and merged artifact is defined over this order, which
+/// is what makes sharded + merged output byte-identical to a
+/// single-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId {
+    /// Canonical linear index within the sweep.
+    pub index: usize,
+    /// Index into the `α` grid.
+    pub ai: usize,
+    /// Index into the `k` grid.
+    pub ki: usize,
+    /// Repetition (initial-state) index.
+    pub rep: usize,
+}
+
+/// How a sweep's initial states are generated (lazily — merge-mode
+/// folds never sample workloads at all).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Uniform random trees with coin-toss ownership (Table I).
+    Tree,
+    /// Connected `G(n, p)` samples with coin-toss ownership (Table II).
+    Er(f64),
+}
+
+/// A declarative description of one sweep: the workload family, the
+/// parameter grid, and the objective. Everything the engine, the
+/// journal, and the merge fold need — states are only sampled when
+/// cells actually run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Stable label of this sweep within its experiment (journal key).
+    pub label: String,
+    /// Workload family.
+    pub workload: Workload,
+    /// Player count.
+    pub n: usize,
+    /// Repetitions (initial states).
+    pub reps: usize,
+    /// Base seed the per-rep instance seeds derive from.
+    pub seed: u64,
+    /// Edge-price grid.
+    pub alphas: Vec<f64>,
+    /// Knowledge-radius grid.
+    pub ks: Vec<u32>,
+    /// Game objective.
+    pub objective: Objective,
+}
+
+impl SweepSpec {
+    /// A random-tree sweep.
+    pub fn tree(
+        label: impl Into<String>,
+        n: usize,
+        reps: usize,
+        seed: u64,
+        alphas: Vec<f64>,
+        ks: Vec<u32>,
+        objective: Objective,
+    ) -> Self {
+        SweepSpec {
+            label: label.into(),
+            workload: Workload::Tree,
+            n,
+            reps,
+            seed,
+            alphas,
+            ks,
+            objective,
+        }
+    }
+
+    /// An Erdős–Rényi sweep.
+    #[allow(clippy::too_many_arguments)] // mirrors `tree` plus the edge probability
+    pub fn er(
+        label: impl Into<String>,
+        n: usize,
+        p: f64,
+        reps: usize,
+        seed: u64,
+        alphas: Vec<f64>,
+        ks: Vec<u32>,
+        objective: Objective,
+    ) -> Self {
+        SweepSpec {
+            label: label.into(),
+            workload: Workload::Er(p),
+            n,
+            reps,
+            seed,
+            alphas,
+            ks,
+            objective,
+        }
+    }
+
+    /// The workload class tag recorded in run records (`"tree"`/`"er"`).
+    pub fn class(&self) -> &'static str {
+        match self.workload {
+            Workload::Tree => "tree",
+            Workload::Er(_) => "er",
+        }
+    }
+
+    /// Total number of cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.alphas.len() * self.ks.len() * self.reps
+    }
+
+    /// Decomposes a canonical linear index into a [`CellId`].
+    ///
+    /// # Panics
+    /// Panics if `index ≥ cell_count()`.
+    pub fn cell(&self, index: usize) -> CellId {
+        assert!(index < self.cell_count(), "cell index {index} out of range");
+        let rep = index % self.reps;
+        let rest = index / self.reps;
+        CellId { index, ai: rest / self.ks.len(), ki: rest % self.ks.len(), rep }
+    }
+
+    /// The canonical linear index of `(ai, ki, rep)`.
+    pub fn index_of(&self, ai: usize, ki: usize, rep: usize) -> usize {
+        cell_index(ai, ki, rep, self.ks.len(), self.reps)
+    }
+
+    /// Samples the sweep's initial states (one per rep, seeded
+    /// per-instance — reproducible in isolation).
+    pub fn states(&self) -> Vec<GameState> {
+        match self.workload {
+            Workload::Tree => workloads::tree_states(self.n, self.reps, self.seed),
+            Workload::Er(p) => workloads::er_states(self.n, p, self.reps, self.seed),
+        }
+    }
+
+    /// A fingerprint of everything that determines this sweep's cell
+    /// contents — workload family (and `p`), `n`, reps, seed, and the
+    /// `α`/`k` grids. Stamped on every journal line and checked on
+    /// resume and merge, so a journal written under a different
+    /// `--seed`, `--reps`, or grid can never be silently reused (the
+    /// record's own `(α, k, rep, n, class)` cannot carry the seed).
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, x: u64) -> u64 {
+            // SplitMix64 over a running state: order-sensitive, cheap.
+            let mut z = h ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut h = match self.workload {
+            Workload::Tree => mix(1, 0),
+            Workload::Er(p) => mix(2, p.to_bits()),
+        };
+        h = mix(h, self.n as u64);
+        h = mix(h, self.reps as u64);
+        h = mix(h, self.seed);
+        h = mix(h, self.objective as u64);
+        for &alpha in &self.alphas {
+            h = mix(h, alpha.to_bits());
+        }
+        for &k in &self.ks {
+            h = mix(h, u64::from(k) | 1 << 40);
+        }
+        h
+    }
+}
+
+/// The canonical linear cell index — `α`-major, then `k`, then `rep`.
+/// The single definition every journal, fold, resume-skip, and merge
+/// shares (via [`SweepSpec::index_of`] and [`run_cells`]).
+#[inline]
+pub fn cell_index(ai: usize, ki: usize, rep: usize, ks_len: usize, reps: usize) -> usize {
+    (ai * ks_len + ki) * reps + rep
+}
+
+/// A process-level shard selection: this process owns the cells whose
+/// repetition satisfies `rep % count == index`. Partitioning by rep
+/// (rather than raw cell index) keeps every warm-start group — all
+/// `(α, k)` cells of one initial state — inside a single shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Total number of shards (`≥ 1`).
+    pub count: usize,
+    /// This process's shard index (`< count`).
+    pub index: usize,
+}
+
+impl Shard {
+    /// The trivial partition: one shard owning everything.
+    pub fn all() -> Self {
+        Shard { count: 1, index: 0 }
+    }
+
+    /// Whether this shard owns repetition `rep`.
+    #[inline]
+    pub fn owns_rep(&self, rep: usize) -> bool {
+        rep % self.count == self.index
+    }
+}
+
+/// Runs this shard's cells of one grid, warm-starting per repetition,
+/// streaming each finished cell to `sink`. Cells for which
+/// `skip(index)` returns `true` (already journaled, on resume) are
+/// not run and not reported. `sink` may be called from worker
+/// threads in any completion order; the canonical order is
+/// re-established downstream (see `crate::engine`). `progress`, if
+/// given, is called after each finished cell with `(done, total)`
+/// where `total` counts this shard's non-skipped cells.
+#[allow(clippy::too_many_arguments)] // the engine's one low-level entry point
+pub fn run_cells(
+    states: &[GameState],
+    alphas: &[f64],
+    ks: &[u32],
+    objective: Objective,
+    warm_start: bool,
+    shard: Shard,
+    skip: &(dyn Fn(usize) -> bool + Sync),
+    sink: &(dyn Fn(CellId, RunResult) + Sync),
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) {
+    assert!(shard.count >= 1 && shard.index < shard.count, "invalid shard {shard:?}");
+    let reps = states.len();
+    let index_of = |ai: usize, ki: usize, rep: usize| cell_index(ai, ki, rep, ks.len(), reps);
+    let my_reps: Vec<usize> = (0..reps).filter(|&r| shard.owns_rep(r)).collect();
+    let total: usize = my_reps
+        .iter()
+        .map(|&rep| {
+            (0..alphas.len())
+                .flat_map(|ai| (0..ks.len()).map(move |ki| (ai, ki)))
+                .filter(|&(ai, ki)| !skip(index_of(ai, ki, rep)))
+                .count()
+        })
+        .sum();
+    let done = AtomicUsize::new(0);
+    // One worker item per repetition: the rep's CacheArena persists
+    // across its whole (α, k) column, which is the warm-start win.
+    let _: Vec<()> = my_reps
+        .into_par_iter()
+        .map(|rep| {
+            let mut arena = CacheArena::new();
+            for (ai, &alpha) in alphas.iter().enumerate() {
+                for (ki, &k) in ks.iter().enumerate() {
+                    let index = index_of(ai, ki, rep);
+                    if skip(index) {
+                        continue;
+                    }
+                    let config = DynamicsConfig::new(GameSpec { alpha, k, objective });
+                    let result = if warm_start {
+                        run_with_cache(states[rep].clone(), &config, &mut arena)
+                    } else {
+                        run(states[rep].clone(), &config)
+                    };
+                    sink(CellId { index, ai, ki, rep }, result);
+                    if let Some(cb) = progress {
+                        cb(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+                    }
+                }
+            }
+        })
+        .collect();
+}
 
 /// One completed dynamics run with its cell coordinates.
 #[derive(Debug)]
@@ -19,9 +314,11 @@ pub struct CellResult {
     pub result: RunResult,
 }
 
-/// A compact serialisable record of one run, written as JSON lines
-/// next to the CSVs so full sweeps can be re-analysed offline.
-#[derive(Debug, Clone, Serialize)]
+/// A compact serialisable record of one run — the unit the sweep
+/// engine streams to its JSONL journal and the fold API aggregates.
+/// Holds only scalars, so a full 36 000-cell grid of records is a few
+/// megabytes where the same grid of [`RunResult`]s was gigabytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Workload class tag (`"tree"` / `"er"`).
     pub class: String,
@@ -59,21 +356,21 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    /// Builds a record from a cell result. Capped runs used to leak
-    /// the `usize::MAX` sentinel into the JSON `rounds` field; they
-    /// now record the rounds actually executed plus `capped: true`.
-    pub fn from_cell(class: &str, n: usize, cell: &CellResult) -> Self {
-        let m = &cell.result.final_metrics;
+    /// Builds a record straight from a finished run — the streaming
+    /// path: the [`RunResult`] (and its `GameState`) is dropped as
+    /// soon as this returns.
+    pub fn new(class: &str, n: usize, alpha: f64, k: u32, rep: usize, result: &RunResult) -> Self {
+        let m = &result.final_metrics;
         RunRecord {
             class: class.to_string(),
             n,
-            alpha: cell.alpha,
-            k: cell.k,
-            rep: cell.rep,
-            converged: cell.result.outcome.converged(),
-            capped: matches!(cell.result.outcome, ncg_dynamics::Outcome::MaxRoundsExceeded { .. }),
-            rounds: cell.result.outcome.rounds(),
-            moves: cell.result.total_moves,
+            alpha,
+            k,
+            rep,
+            converged: result.outcome.converged(),
+            capped: matches!(result.outcome, ncg_dynamics::Outcome::MaxRoundsExceeded { .. }),
+            rounds: result.outcome.rounds(),
+            moves: result.total_moves,
             diameter: m.diameter,
             quality: m.quality,
             max_degree: m.max_degree,
@@ -83,14 +380,26 @@ impl RunRecord {
             unfairness: m.unfairness,
         }
     }
+
+    /// Builds a record from a collected cell result. Capped runs used
+    /// to leak the `usize::MAX` sentinel into the JSON `rounds` field;
+    /// they now record the rounds actually executed plus `capped: true`.
+    pub fn from_cell(class: &str, n: usize, cell: &CellResult) -> Self {
+        Self::new(class, n, cell.alpha, cell.k, cell.rep, &cell.result)
+    }
+
+    /// Whether the run ended in a detected best-response cycle.
+    pub fn cycled(&self) -> bool {
+        !self.converged && !self.capped
+    }
 }
 
 /// Runs MaxNCG dynamics for every `(α, k)` in the grid and every
 /// starting state, in parallel, returning results sorted by
-/// `(α-index, k-index, rep)`.
-///
-/// `progress`, if given, is called after each finished run with
-/// `(done, total)` — used by the binaries for a live counter.
+/// `(α-index, k-index, rep)` — the collect-style convenience over the
+/// streaming engine (tests, examples, small grids). Warm-starts per
+/// repetition like the streaming path; the progress counter is a
+/// lock-free atomic, so the callback no longer serialises workers.
 pub fn sweep(
     states: &[GameState],
     alphas: &[f64],
@@ -98,34 +407,31 @@ pub fn sweep(
     objective: Objective,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> Vec<CellResult> {
-    let cells: Vec<(usize, usize, usize)> = (0..alphas.len())
-        .flat_map(|ai| {
-            (0..ks.len()).flat_map(move |ki| (0..states.len()).map(move |r| (ai, ki, r)))
-        })
-        .collect();
-    let total = cells.len();
-    let done = Mutex::new(0usize);
-    let mut results: Vec<(usize, CellResult)> = cells
-        .into_par_iter()
-        .enumerate()
-        .map(|(idx, (ai, ki, rep))| {
-            let spec = GameSpec { alpha: alphas[ai], k: ks[ki], objective };
-            let config = DynamicsConfig::new(spec);
-            let result = run(states[rep].clone(), &config);
-            if let Some(cb) = progress {
-                let mut d = done.lock();
-                *d += 1;
-                cb(*d, total);
-            }
-            (idx, CellResult { alpha: alphas[ai], k: ks[ki], rep, result })
-        })
-        .collect();
-    results.sort_by_key(|(idx, _)| *idx);
+    let collected: Mutex<Vec<(usize, CellResult)>> =
+        Mutex::new(Vec::with_capacity(alphas.len() * ks.len() * states.len()));
+    run_cells(
+        states,
+        alphas,
+        ks,
+        objective,
+        true,
+        Shard::all(),
+        &|_| false,
+        &|cell, result| {
+            let item = CellResult { alpha: alphas[cell.ai], k: ks[cell.ki], rep: cell.rep, result };
+            collected.lock().push((cell.index, item));
+        },
+        progress,
+    );
+    let mut results = collected.into_inner();
+    results.sort_by_key(|(index, _)| *index);
     results.into_iter().map(|(_, c)| c).collect()
 }
 
 /// Groups cell results by `(α, k)` preserving grid order, yielding
-/// `((α, k), &[CellResult])` slices of length `reps`.
+/// `((α, k), &[CellResult])` slices of length `reps`. Empty grids
+/// (no `α`s, no `k`s, or zero reps) yield the matching number of
+/// empty groups.
 pub fn by_cell<'a>(
     results: &'a [CellResult],
     alphas: &[f64],
@@ -181,6 +487,17 @@ mod tests {
     }
 
     #[test]
+    fn by_cell_handles_empty_grids() {
+        // No αs / no ks / zero reps: no groups, or empty groups.
+        assert!(by_cell(&[], &[], &[2], 3).is_empty());
+        assert!(by_cell(&[], &[1.0], &[], 3).is_empty());
+        let grouped = by_cell(&[], &[1.0, 2.0], &[2, 3], 0);
+        assert_eq!(grouped.len(), 4);
+        assert!(grouped.iter().all(|(_, cells)| cells.is_empty()));
+        assert_eq!(grouped[3].0, (2.0, 3));
+    }
+
+    #[test]
     fn progress_callback_counts_to_total() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let states = workloads::tree_states(10, 2, 3);
@@ -194,6 +511,78 @@ mod tests {
     }
 
     #[test]
+    fn cell_index_round_trips() {
+        let spec =
+            SweepSpec::tree("t", 10, 3, 7, vec![0.5, 1.0, 2.0, 4.0], vec![2, 3], Objective::Max);
+        assert_eq!(spec.cell_count(), 24);
+        for index in 0..spec.cell_count() {
+            let cell = spec.cell(index);
+            assert_eq!(cell.index, index);
+            assert_eq!(spec.index_of(cell.ai, cell.ki, cell.rep), index);
+        }
+        // α-major, then k, then rep.
+        assert_eq!(spec.cell(0), CellId { index: 0, ai: 0, ki: 0, rep: 0 });
+        assert_eq!(spec.cell(3), CellId { index: 3, ai: 0, ki: 1, rep: 0 });
+        assert_eq!(spec.cell(6), CellId { index: 6, ai: 1, ki: 0, rep: 0 });
+    }
+
+    #[test]
+    fn shard_partition_is_by_rep_and_complete() {
+        let shards: Vec<Shard> = (0..3).map(|index| Shard { count: 3, index }).collect();
+        for rep in 0..10 {
+            let owners: Vec<usize> =
+                shards.iter().filter(|s| s.owns_rep(rep)).map(|s| s.index).collect();
+            assert_eq!(owners, vec![rep % 3], "rep {rep} must have exactly one owner");
+        }
+    }
+
+    #[test]
+    fn sharded_run_cells_cover_exactly_the_grid() {
+        let states = workloads::tree_states(10, 3, 5);
+        let alphas = [0.5, 2.0];
+        let ks = [2u32];
+        let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        for index in 0..2 {
+            run_cells(
+                &states,
+                &alphas,
+                &ks,
+                Objective::Max,
+                true,
+                Shard { count: 2, index },
+                &|_| false,
+                &|cell, _| seen.lock().push(cell.index),
+                None,
+            );
+        }
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>(), "shards must partition the grid exactly");
+    }
+
+    #[test]
+    fn skip_suppresses_cells_and_progress_total() {
+        let states = workloads::tree_states(10, 2, 9);
+        let ran: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let totals: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        run_cells(
+            &states,
+            &[1.0],
+            &[2, 3],
+            Objective::Max,
+            true,
+            Shard::all(),
+            &|index| index % 2 == 0,
+            &|cell, _| ran.lock().push(cell.index),
+            Some(&|_, total| totals.lock().push(total)),
+        );
+        let mut ran = ran.into_inner();
+        ran.sort_unstable();
+        assert_eq!(ran, vec![1, 3]);
+        assert!(totals.into_inner().iter().all(|&t| t == 2));
+    }
+
+    #[test]
     fn run_record_extracts_fields() {
         let states = workloads::tree_states(12, 1, 4);
         let results = sweep(&states, &[2.0], &[3], Objective::Max, None);
@@ -204,10 +593,13 @@ mod tests {
         assert_eq!(rec.k, 3);
         assert!(rec.converged);
         assert!(!rec.capped);
+        assert!(!rec.cycled());
         assert!(rec.rounds >= 1);
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("\"class\":\"tree\""));
         assert!(json.contains("\"capped\":false"));
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec, "records must round-trip through the journal encoding");
     }
 
     #[test]
@@ -227,5 +619,36 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         assert!(json.contains("\"capped\":true"));
         assert!(!json.contains(&usize::MAX.to_string()));
+    }
+
+    #[test]
+    fn warm_and_cold_sweeps_agree_bitwise() {
+        // The warm-start acceptance criterion at the engine level:
+        // per-cell outcomes identical with arenas on and off.
+        let states = workloads::tree_states(16, 3, 11);
+        let alphas = [0.4, 3.0];
+        let ks = [2u32, 1000];
+        let collect = |warm: bool| {
+            let got: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+            run_cells(
+                &states,
+                &alphas,
+                &ks,
+                Objective::Max,
+                warm,
+                Shard::all(),
+                &|_| false,
+                &|cell, result| {
+                    let rec =
+                        RunRecord::new("tree", 16, alphas[cell.ai], ks[cell.ki], cell.rep, &result);
+                    got.lock().push((cell.index, rec));
+                },
+                None,
+            );
+            let mut got = got.into_inner();
+            got.sort_by_key(|(i, _)| *i);
+            got
+        };
+        assert_eq!(collect(true), collect(false));
     }
 }

@@ -5,11 +5,13 @@
 //! maximum number of bought edges (ownership assigned by fair coin).
 
 use ncg_graph::metrics;
-use ncg_stats::{Summary, Table};
+use ncg_stats::{Accumulator, Table};
 
 use crate::{workloads, ExperimentOutput, Profile};
 
-/// Runs the Table I measurement under the given profile.
+/// Runs the Table I measurement under the given profile. Statistics
+/// are folded through streaming [`Accumulator`]s — one pass over the
+/// workload states, no sample vectors.
 pub fn run(profile: &Profile) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("table1");
     out.notes = format!(
@@ -18,18 +20,19 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     );
     let mut table = Table::new(["n", "Diameter", "Max. degree", "Max. bought edges"]);
     for &n in &profile.tree_ns {
-        let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-        let diameters: Vec<f64> = states
-            .iter()
-            .map(|s| metrics::diameter(s.graph()).expect("trees are connected") as f64)
-            .collect();
-        let max_degrees: Vec<f64> = states.iter().map(|s| s.graph().max_degree() as f64).collect();
-        let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
+        let mut diameter = Accumulator::new();
+        let mut max_degree = Accumulator::new();
+        let mut max_bought = Accumulator::new();
+        for s in workloads::tree_states(n, profile.reps, profile.base_seed) {
+            diameter.push(metrics::diameter(s.graph()).expect("trees are connected") as f64);
+            max_degree.push(s.graph().max_degree() as f64);
+            max_bought.push(s.max_bought() as f64);
+        }
         table.push_row([
             n.to_string(),
-            Summary::of(&diameters).display(2),
-            Summary::of(&max_degrees).display(2),
-            Summary::of(&max_bought).display(2),
+            diameter.summary().display(2),
+            max_degree.summary().display(2),
+            max_bought.summary().display(2),
         ]);
     }
     out.push_table("random_trees", table);
@@ -55,9 +58,11 @@ mod tests {
         let profile = Profile { reps: 10, tree_ns: vec![20, 200], ..Profile::smoke() };
         let d = |n: usize| {
             let states = workloads::tree_states(n, profile.reps, profile.base_seed);
-            let v: Vec<f64> =
-                states.iter().map(|s| metrics::diameter(s.graph()).unwrap() as f64).collect();
-            Summary::of(&v).mean
+            let mut acc = Accumulator::new();
+            for s in &states {
+                acc.push(metrics::diameter(s.graph()).unwrap() as f64);
+            }
+            acc.summary().mean
         };
         assert!(d(200) > 1.8 * d(20), "diameter must grow markedly with n");
     }

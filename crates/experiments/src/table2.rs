@@ -5,11 +5,13 @@
 //! degree and maximum bought edges.
 
 use ncg_graph::metrics;
-use ncg_stats::{Summary, Table};
+use ncg_stats::{Accumulator, Table};
 
 use crate::{workloads, ExperimentOutput, Profile};
 
-/// Runs the Table II measurement under the given profile.
+/// Runs the Table II measurement under the given profile. Statistics
+/// are folded through streaming [`Accumulator`]s — one pass over the
+/// workload states, no sample vectors.
 pub fn run(profile: &Profile) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("table2");
     out.notes = format!(
@@ -18,22 +20,16 @@ pub fn run(profile: &Profile) -> ExperimentOutput {
     );
     let mut table = Table::new(["n", "p", "Edges", "Diameter", "Max. degree", "Max. bought edges"]);
     for &(n, p) in &profile.er_configs {
-        let states = workloads::er_states(n, p, profile.reps, profile.base_seed);
-        let edges: Vec<f64> = states.iter().map(|s| s.graph().edge_count() as f64).collect();
-        let diameters: Vec<f64> = states
-            .iter()
-            .map(|s| metrics::diameter(s.graph()).expect("samples are connected") as f64)
-            .collect();
-        let max_degrees: Vec<f64> = states.iter().map(|s| s.graph().max_degree() as f64).collect();
-        let max_bought: Vec<f64> = states.iter().map(|s| s.max_bought() as f64).collect();
-        table.push_row([
-            n.to_string(),
-            format!("{p:.3}"),
-            Summary::of(&edges).display(2),
-            Summary::of(&diameters).display(2),
-            Summary::of(&max_degrees).display(2),
-            Summary::of(&max_bought).display(2),
-        ]);
+        let mut accs = [(); 4].map(|_| Accumulator::new());
+        for s in workloads::er_states(n, p, profile.reps, profile.base_seed) {
+            accs[0].push(s.graph().edge_count() as f64);
+            accs[1].push(metrics::diameter(s.graph()).expect("samples are connected") as f64);
+            accs[2].push(s.graph().max_degree() as f64);
+            accs[3].push(s.max_bought() as f64);
+        }
+        let mut row = vec![n.to_string(), format!("{p:.3}")];
+        row.extend(accs.iter().map(|a| a.summary().display(2)));
+        table.push_row(row);
     }
     out.push_table("er_graphs", table);
     out

@@ -63,6 +63,82 @@ fn figure5_quick_profile_writes_parsable_artifacts() {
     let _ = std::fs::remove_dir_all(&out_dir);
 }
 
+/// Satellite of the sweep-engine rearchitecture: a two-shard
+/// `figure5` run plus `merge` must reproduce the single-process
+/// artifacts byte for byte — tables, notes, and the canonical JSONL
+/// run journal (quick profile, 2 reps so each shard owns one).
+#[test]
+fn figure5_two_shard_merge_round_trips_byte_identically() {
+    let single_dir = temp_out_dir().with_extension("single");
+    let shard_dir = temp_out_dir().with_extension("sharded");
+    let _ = std::fs::remove_dir_all(&single_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+    let base_args = ["figure5", "--reps", "2", "--seed", "4242"];
+    let run = |extra: &[&str], out: &Path| {
+        let output = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"))
+            .args(base_args)
+            .args(extra)
+            .arg("--out")
+            .arg(out)
+            .output()
+            .expect("spawning the ncg-experiments binary");
+        assert!(
+            output.status.success(),
+            "CLI {extra:?} exited with {:?}; stderr:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+    };
+    run(&[], &single_dir);
+    run(&["--shards", "2", "--shard", "0"], &shard_dir);
+    run(&["--shards", "2", "--shard", "1"], &shard_dir);
+    // `merge` is spelled as a leading subcommand.
+    let output = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"))
+        .args(["merge", "figure5", "--reps", "2", "--seed", "4242", "--shards", "2", "--out"])
+        .arg(&shard_dir)
+        .output()
+        .expect("spawning the ncg-experiments binary");
+    assert!(
+        output.status.success(),
+        "merge exited with {:?}; stderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    for artifact in [
+        "figure5_avg_view_size.csv",
+        "figure5_min_view_size.csv",
+        "figure5_notes.txt",
+        "figure5_runs.jsonl",
+    ] {
+        let a = std::fs::read(single_dir.join(artifact))
+            .unwrap_or_else(|e| panic!("single-run artifact {artifact}: {e}"));
+        let b = std::fs::read(shard_dir.join(artifact))
+            .unwrap_or_else(|e| panic!("merged artifact {artifact}: {e}"));
+        assert!(!a.is_empty(), "{artifact} is empty");
+        assert_eq!(a, b, "sharded+merged {artifact} differs from the single-process run");
+    }
+    // The shard journals themselves partition the grid: together they
+    // hold exactly the lines of the canonical journal.
+    let canonical = std::fs::read_to_string(single_dir.join("figure5_runs.jsonl")).unwrap();
+    let mut shard_lines: Vec<String> = (0..2)
+        .flat_map(|i| {
+            std::fs::read_to_string(shard_dir.join(format!("figure5_runs.shard{i}of2.jsonl")))
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut canonical_lines: Vec<String> = canonical.lines().map(str::to_string).collect();
+    shard_lines.sort();
+    canonical_lines.sort();
+    assert_eq!(shard_lines, canonical_lines);
+
+    let _ = std::fs::remove_dir_all(&single_dir);
+    let _ = std::fs::remove_dir_all(&shard_dir);
+}
+
 #[test]
 fn rejects_unknown_experiment_with_usage() {
     let output = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"))

@@ -3,8 +3,10 @@
 //! The paper reports every experimental quantity as a mean over 20
 //! repetitions with a 95% confidence interval. This crate provides
 //! exactly that: [`Summary`] (mean, sample standard deviation,
-//! Student-t 95% CI, min/max) plus lightweight text/CSV table
-//! rendering used by the figure and table binaries.
+//! Student-t 95% CI, min/max), the streaming [`Accumulator`] that
+//! folds the same statistics one observation at a time (the sweep
+//! engine's `O(grid)`-memory aggregation path), plus lightweight
+//! text/CSV table rendering used by the figure and table binaries.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -12,5 +14,5 @@
 mod summary;
 mod table;
 
-pub use summary::{t_critical_975, Summary};
+pub use summary::{t_critical_975, Accumulator, Summary};
 pub use table::{Table, TableStyle};

@@ -82,6 +82,89 @@ impl Summary {
     }
 }
 
+/// Streaming (Welford) accumulator producing the same [`Summary`]
+/// shape without ever materialising the sample: push observations one
+/// at a time, merge partial accumulators, and read the summary at any
+/// point. The sweep engine folds one accumulator per `(α, k)` grid
+/// cell, so a 36 000-run sweep keeps `O(grid)` state instead of
+/// `O(cells)` samples.
+///
+/// Mean and variance follow Welford's update; `merge` uses the
+/// Chan et al. pairwise combination. Floating-point results can
+/// differ from the two-pass [`Summary::of`] in the last few ULPs, but
+/// a fixed push order yields bit-identical accumulators — the
+/// property the sharded sweep's byte-parity guarantee rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Accumulator { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observations folded in so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator in, as if its observations had been
+    /// pushed here (up to floating-point association).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let d = other.mean - self.mean;
+        self.mean += d * other.count as f64 / total as f64;
+        self.m2 += other.m2 + d * d * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The [`Summary`] of everything pushed so far — same field
+    /// conventions as [`Summary::of`] (empty samples keep mean 0 and
+    /// infinite min/max; `sd`/`ci95` are 0 below two observations).
+    pub fn summary(&self) -> Summary {
+        let n = self.count as usize;
+        let (sd, ci95) = if n >= 2 {
+            let sd = (self.m2 / (n - 1) as f64).sqrt();
+            (sd, t_critical_975(n - 1) * sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        Summary { n, mean: self.mean, sd, min: self.min, max: self.max, ci95 }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +229,83 @@ mod tests {
         let text = s.display(2);
         assert!(text.contains(" ± "));
         assert!(text.starts_with("10.65"));
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass_summary() {
+        let values = [3.0, -1.5, 0.25, 8.0, 8.0, 2.5, -7.0];
+        let mut acc = Accumulator::new();
+        for &v in &values {
+            acc.push(v);
+        }
+        let a = acc.summary();
+        let b = Summary::of(&values);
+        assert_eq!(a.n, b.n);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        for (x, y) in [(a.mean, b.mean), (a.sd, b.sd), (a.ci95, b.ci95)] {
+            assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn accumulator_empty_and_singleton_match_of() {
+        let empty = Accumulator::new().summary();
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert!(empty.min.is_infinite() && empty.max.is_infinite());
+        let mut one = Accumulator::new();
+        one.push(7.5);
+        let s = one.summary();
+        assert_eq!((s.n, s.mean, s.sd, s.ci95), (1, 7.5, 0.0, 0.0));
+        assert_eq!((s.min, s.max), (7.5, 7.5));
+    }
+
+    #[test]
+    fn accumulator_fixed_order_is_deterministic() {
+        // The sharded-sweep parity guarantee: the same push order gives
+        // bit-identical accumulators (and hence bit-identical tables).
+        let values: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &v in &values {
+            a.push(v);
+            b.push(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.summary().display(6), b.summary().display(6));
+    }
+
+    #[test]
+    fn accumulator_merge_combines_partials() {
+        let values: Vec<f64> = (0..40).map(|i| (i as f64).sqrt() - 3.0).collect();
+        let mut whole = Accumulator::new();
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.push(v);
+            if i < 13 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        let mut merged = left;
+        merged.merge(&right);
+        assert_eq!(merged.count(), whole.count());
+        let (m, w) = (merged.summary(), whole.summary());
+        assert_eq!(m.min, w.min);
+        assert_eq!(m.max, w.max);
+        for (x, y) in [(m.mean, w.mean), (m.sd, w.sd)] {
+            assert!((x - y).abs() <= 1e-10 * y.abs().max(1.0), "{x} vs {y}");
+        }
+        // Merging an empty accumulator is the identity, both ways.
+        let mut id = whole;
+        id.merge(&Accumulator::new());
+        assert_eq!(id, whole);
+        let mut from_empty = Accumulator::new();
+        from_empty.merge(&whole);
+        assert_eq!(from_empty, whole);
     }
 
     #[test]
