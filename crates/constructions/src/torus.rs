@@ -30,7 +30,7 @@ use std::collections::HashMap;
 
 use ncg_core::{GameSpec, GameState};
 use ncg_graph::{Graph, GraphError, NodeId};
-use ncg_solver::is_lke;
+use ncg_solver::is_lke_par;
 
 /// A built torus/grid instance: graph, ownership and coordinates.
 #[derive(Debug, Clone)]
@@ -411,10 +411,11 @@ impl TorusGrid {
     }
 
     /// Certifies the LKE property with the exact solver (`n` best
-    /// responses). MaxNCG certification is exact; SumNCG is exact
-    /// whenever views stay within the exhaustive cap.
+    /// responses, fanned out over the work-stealing pool with
+    /// per-worker solver scratch). MaxNCG certification is exact;
+    /// SumNCG is exact whenever views stay within the exhaustive cap.
     pub fn certify(&self, spec: &GameSpec) -> bool {
-        is_lke(&self.state, spec)
+        is_lke_par(&self.state, spec)
     }
 
     /// Corollary 3.4: the diameter lower bound `ℓ·δ_d`.

@@ -25,8 +25,27 @@ pub fn player_costs(state: &GameState, spec: &GameSpec) -> Vec<Option<f64>> {
             .collect(),
         Objective::Sum => metrics::statuses(g),
     };
+    player_costs_with_usages(state, spec, &usages)
+}
+
+/// [`player_costs`] from *precomputed* per-player usages (eccentricity
+/// for Max, status for Sum; `None` = does not reach everyone):
+/// `C_u = α·|σ_u| + usage_u`, with no BFS of its own.
+///
+/// This is the no-traversal core the BFS entry points above feed.
+/// Callers that already hold per-vertex distance arrays — the CSR
+/// freeze in `ncg_dynamics::StateMetrics::measure` takes one full BFS
+/// per vertex anyway for the diameter and view statistics — pass their
+/// usages here instead of paying a second per-vertex sweep over the
+/// mutable adjacency (parity-tested against the BFS path).
+pub fn player_costs_with_usages(
+    state: &GameState,
+    spec: &GameSpec,
+    usages: &[Option<u64>],
+) -> Vec<Option<f64>> {
+    debug_assert_eq!(usages.len(), state.n());
     usages
-        .into_iter()
+        .iter()
         .enumerate()
         .map(|(u, usage)| usage.map(|us| spec.alpha * state.bought(u as u32) as f64 + us as f64))
         .collect()
@@ -35,6 +54,18 @@ pub fn player_costs(state: &GameState, spec: &GameSpec) -> Vec<Option<f64>> {
 /// Social cost `Σ_u C_u(σ)`; `None` if the graph is disconnected.
 pub fn social_cost(state: &GameState, spec: &GameSpec) -> Option<f64> {
     player_costs(state, spec).into_iter().try_fold(0.0, |acc, c| c.map(|c| acc + c))
+}
+
+/// [`social_cost`] from precomputed usages (see
+/// [`player_costs_with_usages`]).
+pub fn social_cost_with_usages(
+    state: &GameState,
+    spec: &GameSpec,
+    usages: &[Option<u64>],
+) -> Option<f64> {
+    player_costs_with_usages(state, spec, usages)
+        .into_iter()
+        .try_fold(0.0, |acc, c| c.map(|c| acc + c))
 }
 
 /// One player's true (full-knowledge) cost `α·|σ_u| + usage_u`;
@@ -96,8 +127,22 @@ pub fn optimum_cost(n: usize, spec: &GameSpec) -> f64 {
 /// of the price of anarchy plotted in Figures 6–7. `None` if the
 /// profile's graph is disconnected or the optimum is zero.
 pub fn quality(state: &GameState, spec: &GameSpec) -> Option<f64> {
-    let sc = social_cost(state, spec)?;
-    let opt = optimum_cost(state.n(), spec);
+    quality_of(state.n(), spec, social_cost(state, spec))
+}
+
+/// [`quality`] from precomputed usages (see
+/// [`player_costs_with_usages`]).
+pub fn quality_with_usages(
+    state: &GameState,
+    spec: &GameSpec,
+    usages: &[Option<u64>],
+) -> Option<f64> {
+    quality_of(state.n(), spec, social_cost_with_usages(state, spec, usages))
+}
+
+fn quality_of(n: usize, spec: &GameSpec, sc: Option<f64>) -> Option<f64> {
+    let sc = sc?;
+    let opt = optimum_cost(n, spec);
     if opt <= 0.0 {
         None
     } else {
@@ -108,7 +153,20 @@ pub fn quality(state: &GameState, spec: &GameSpec) -> Option<f64> {
 /// Unfairness ratio: costliest player / cheapest player (Figure 9).
 /// `None` on disconnected graphs or when the cheapest cost is 0.
 pub fn unfairness(state: &GameState, spec: &GameSpec) -> Option<f64> {
-    let costs = player_costs(state, spec);
+    unfairness_of(player_costs(state, spec))
+}
+
+/// [`unfairness`] from precomputed usages (see
+/// [`player_costs_with_usages`]).
+pub fn unfairness_with_usages(
+    state: &GameState,
+    spec: &GameSpec,
+    usages: &[Option<u64>],
+) -> Option<f64> {
+    unfairness_of(player_costs_with_usages(state, spec, usages))
+}
+
+fn unfairness_of(costs: Vec<Option<f64>>) -> Option<f64> {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     for c in costs {
@@ -230,6 +288,38 @@ mod tests {
         }
         let disc = GameState::from_strategies(3, vec![vec![1], vec![], vec![]]);
         assert_eq!(player_cost(&disc, &GameSpec::max(1.0, 2), 0), None);
+    }
+
+    #[test]
+    fn with_usages_matches_bfs_path() {
+        // The precomputed-usage entry points must agree with the
+        // BFS-driven ones on connected and disconnected profiles.
+        let usages_of = |state: &GameState, spec: &GameSpec| -> Vec<Option<u64>> {
+            match spec.objective {
+                crate::Objective::Max => ncg_graph::metrics::eccentricities(state.graph())
+                    .into_iter()
+                    .map(|e| (e != ncg_graph::INFINITY).then_some(e as u64))
+                    .collect(),
+                crate::Objective::Sum => ncg_graph::metrics::statuses(state.graph()),
+            }
+        };
+        let connected = GameState::cycle_successor(9);
+        let disconnected = GameState::from_strategies(4, vec![vec![1], vec![], vec![3], vec![]]);
+        for state in [&connected, &disconnected] {
+            for spec in [GameSpec::max(1.7, 3), GameSpec::sum(0.4, 2)] {
+                let usages = usages_of(state, &spec);
+                assert_eq!(
+                    player_costs_with_usages(state, &spec, &usages),
+                    player_costs(state, &spec)
+                );
+                assert_eq!(
+                    social_cost_with_usages(state, &spec, &usages),
+                    social_cost(state, &spec)
+                );
+                assert_eq!(quality_with_usages(state, &spec, &usages), quality(state, &spec));
+                assert_eq!(unfairness_with_usages(state, &spec, &usages), unfairness(state, &spec));
+            }
+        }
     }
 
     #[test]

@@ -39,13 +39,16 @@ impl StateMetrics {
     /// Measures a state under the given spec (view sizes use `spec.k`).
     ///
     /// One CSR freeze plus one full BFS per vertex over the shared
-    /// multi-source kernel produces the diameter *and* both view-size
-    /// statistics together (a ball of radius `k` is exactly the nodes
-    /// at distance `≤ k`), replacing the seed's per-vertex `Graph`
-    /// BFS for the diameter and per-vertex ball construction for the
-    /// views — the dominant cost of short warm-started runs at large
-    /// `n` (ROADMAP follow-up; parity-tested against
-    /// `ncg_graph::metrics::diameter` and `ncg_graph::view::ball`).
+    /// multi-source kernel produces the diameter, both view-size
+    /// statistics (a ball of radius `k` is exactly the nodes at
+    /// distance `≤ k`), *and* every social statistic together: the
+    /// per-player usage (eccentricity for Max, status for Sum) falls
+    /// out of the same distance arrays, so `social_cost`, `quality`
+    /// and `unfairness` no longer run their own per-vertex BFS over
+    /// the mutable adjacency inside `ncg_core::social` — the last
+    /// duplicate sweep of the per-cell epilogue (ROADMAP follow-up;
+    /// parity-tested against `ncg_graph::metrics::diameter`,
+    /// `ncg_graph::view::ball`, and the `ncg_core::social` BFS path).
     pub fn measure(state: &GameState, spec: &GameSpec) -> Self {
         let g = state.graph();
         let n = state.n();
@@ -55,13 +58,21 @@ impl StateMetrics {
         let mut view_total = 0usize;
         let mut ecc_max = 0u32;
         let mut connected = true;
+        let mut usages: Vec<Option<u64>> = Vec::with_capacity(n);
         for u in 0..n as u32 {
             let ecc = csr.bfs(u, &mut buf);
-            connected &= buf.visited().len() == n;
+            let reaches_all = buf.visited().len() == n;
+            connected &= reaches_all;
             ecc_max = ecc_max.max(ecc);
             let size = buf.distances().iter().filter(|&&d| d != INFINITY && d <= spec.k).count();
             min_view = min_view.min(size);
             view_total += size;
+            usages.push(match spec.objective {
+                ncg_core::Objective::Max => reaches_all.then_some(ecc as u64),
+                ncg_core::Objective::Sum => {
+                    reaches_all.then(|| buf.distances().iter().map(|&d| d as u64).sum())
+                }
+            });
         }
         if n == 0 {
             min_view = 0;
@@ -70,15 +81,15 @@ impl StateMetrics {
             n,
             edges: g.edge_count(),
             diameter: (n > 0 && connected).then_some(ecc_max),
-            social_cost: social::social_cost(state, spec),
-            quality: social::quality(state, spec),
+            social_cost: social::social_cost_with_usages(state, spec, &usages),
+            quality: social::quality_with_usages(state, spec, &usages),
             max_degree: g.max_degree(),
             avg_degree: g.avg_degree(),
             max_bought: state.max_bought(),
             avg_bought: if n == 0 { 0.0 } else { state.total_bought() as f64 / n as f64 },
             min_view,
             avg_view: if n == 0 { 0.0 } else { view_total as f64 / n as f64 },
-            unfairness: social::unfairness(state, spec),
+            unfairness: social::unfairness_with_usages(state, spec, &usages),
         }
     }
 
@@ -155,6 +166,47 @@ mod tests {
         let m = StateMetrics::measure(&state, &GameSpec::sum(1.0, 2));
         let back: StateMetrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn csr_usage_path_matches_social_bfs_path() {
+        // The social statistics now come from the measurement pass's
+        // own distance arrays; they must agree bit-for-bit with the
+        // `ncg_core::social` BFS entry points they replaced, for both
+        // objectives, on connected and disconnected profiles.
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+        let mut states: Vec<GameState> = (0..4)
+            .map(|t| {
+                let g = ncg_graph::generators::gnp(30, 0.04 + 0.04 * t as f64, &mut rng).unwrap();
+                GameState::from_graph_random_ownership(&g, &mut rng)
+            })
+            .collect();
+        states.push(GameState::from_strategies(4, vec![vec![1], vec![], vec![3], vec![]]));
+        states.push(GameState::cycle_successor(11));
+        for (i, state) in states.iter().enumerate() {
+            for spec in [GameSpec::max(1.3, 2), GameSpec::sum(2.1, 3)] {
+                let m = StateMetrics::measure(state, &spec);
+                assert_eq!(
+                    m.social_cost,
+                    ncg_core::social::social_cost(state, &spec),
+                    "social cost parity (state {i}, {:?})",
+                    spec.objective
+                );
+                assert_eq!(
+                    m.quality,
+                    ncg_core::social::quality(state, &spec),
+                    "quality parity (state {i}, {:?})",
+                    spec.objective
+                );
+                assert_eq!(
+                    m.unfairness,
+                    ncg_core::social::unfairness(state, &spec),
+                    "unfairness parity (state {i}, {:?})",
+                    spec.objective
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! reports whether the exact solver confirms the LKE property, the
 //! witnessed PoA (`SC/OPT`), and the theory bound at the same
 //! parameters.
+//!
+//! This sweep was the last caller that re-solved every construction
+//! from a cold scratch on a single core. Certification now routes
+//! through `ncg_solver::is_lke_par`: the `n` best responses of each
+//! gadget fan out over the work-stealing pool with one `Responder`
+//! (hence one warm `SolverScratch`) per worker, and a found violation
+//! short-circuits the remaining players. (Inside pool workers the
+//! individual solves stay sequential — the player fan-out is the
+//! parallelism; the §8 frontier split serves top-level callers.) The
+//! table bytes are independent of `NCG_THREADS` — the CI determinism
+//! job diffs them across thread counts.
 
 use ncg_constructions::{cycle, high_girth, TorusGrid};
 use ncg_core::GameSpec;

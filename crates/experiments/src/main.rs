@@ -1,8 +1,8 @@
 //! CLI for the experiment harness.
 //!
 //! ```text
-//! ncg-experiments <experiment> [--full] [--paper] [--out DIR] [--seed N] [--reps N]
-//!                              [--shards M --shard I] [--cold]
+//! NCG_THREADS=N ncg-experiments <experiment> [--full] [--paper] [--out DIR] [--seed N]
+//!                              [--reps N] [--shards M --shard I] [--cold]
 //! ncg-experiments merge <experiment> --shards M [--out DIR] [profile flags]
 //!
 //! experiments: table1 table2 figures12 figure3 figure4 figure5
@@ -27,6 +27,14 @@
 //! the journal. `merge` folds the M shard journals into the same
 //! tables and canonical JSONL a single-process run produces,
 //! byte-for-byte.
+//!
+//! NCG_THREADS=N caps the worker pool for everything the harness
+//! parallelises — sweep repetitions, the fanned-out LKE
+//! certifications, and the exact solver's frontier split. Every
+//! artifact is byte-identical for every N (the parallel
+//! branch-and-bound is deterministic by construction, DESIGN.md §8);
+//! the CI `determinism` job runs this binary at N = 1 and N = 4 and
+//! diffs the outputs.
 //! ```
 
 use std::path::PathBuf;
@@ -92,6 +100,28 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // NCG_THREADS caps the worker pool for the whole process; unset
+    // (or unparsable) means one worker per core. The scoped install
+    // covers sweep repetitions, parallel LKE certification, and the
+    // solver's frontier fan-out alike — and output bytes are
+    // independent of the value (the CI determinism job enforces it).
+    match std::env::var("NCG_THREADS").ok().map(|v| v.parse::<usize>()) {
+        Some(Ok(threads)) if threads >= 1 => {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool construction is infallible");
+            pool.install(run)
+        }
+        Some(_) => {
+            eprintln!("[ncg-experiments] NCG_THREADS must be a positive integer");
+            ExitCode::FAILURE
+        }
+        None => run(),
+    }
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positionals: Vec<String> = Vec::new();
     let mut profile = Profile::quick();

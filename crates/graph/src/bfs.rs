@@ -8,8 +8,8 @@
 //!
 //! All entry points — single-source, bounded, skipping, multi-source,
 //! on [`Graph`] or on [`crate::CsrGraph`] — are thin wrappers around
-//! **one** batched frontier sweep ([`bfs_kernel`]), parameterised over
-//! the [`Adjacency`] representation. View extraction
+//! **one** batched frontier sweep (the private `bfs_kernel`),
+//! parameterised over the [`Adjacency`] representation. View extraction
 //! (`crate::view::ball`), the deviation evaluator's multi-source
 //! sweeps, and the best-response reduction's per-source APSP therefore
 //! share a single, monomorphised inner loop (see `DESIGN.md` §5).

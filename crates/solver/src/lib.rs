@@ -53,6 +53,7 @@ use ncg_core::equilibrium::{self, BestResponder, Deviation};
 use ncg_core::{GameSpec, GameState, Objective, PlayerView};
 use ncg_graph::bfs::DistanceBuffer;
 use ncg_graph::NodeId;
+use rayon::prelude::*;
 
 /// Search effort: exact optimisation or the greedy/heuristic variant
 /// (the ablation axis of the benchmark suite).
@@ -63,6 +64,56 @@ pub enum Mode {
     Exact,
     /// Greedy dominating sets / hill climbing.
     Greedy,
+}
+
+/// When (and how wide) the exact branch-and-bound fans out over the
+/// work-stealing pool (DESIGN.md §8).
+///
+/// Output is bit-identical either way
+/// ([`DominationEngine::solve_exact_parallel`](engine::DominationEngine::solve_exact_parallel)'s
+/// two-pass canonical rule), so the policy is purely a performance
+/// trade: frontier expansion plus one engine snapshot per worker only
+/// pay off once a single solve is expensive. The dynamics hot path —
+/// thousands of sub-millisecond solves on tiny views per round — must
+/// stay sequential, hence the ground-set threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Ground sets (view sizes) strictly smaller than this always
+    /// solve sequentially. The default keeps the ≈100-node
+    /// full-knowledge views of the paper's dynamics — ~0.7 ms solves —
+    /// on the sequential fast path while the certification-scale
+    /// instances beyond it fan out.
+    pub min_ground: usize,
+    /// Root-frontier subproblems per worker (the `C` in the `W·C`
+    /// frontier target): enough slack for the steal-half scheduler to
+    /// rebalance uneven subtrees.
+    pub per_worker: usize,
+}
+
+impl Default for ParallelPolicy {
+    fn default() -> Self {
+        ParallelPolicy { min_ground: 112, per_worker: 8 }
+    }
+}
+
+impl ParallelPolicy {
+    /// A policy that never parallelises (single-core ablations, bench
+    /// baselines).
+    pub fn sequential() -> Self {
+        ParallelPolicy { min_ground: usize::MAX, ..Self::default() }
+    }
+
+    /// Worker count for a solve over `ground` elements: 1 below the
+    /// threshold, otherwise the pool's current thread count. Inside a
+    /// pool worker (a sweep repetition, a parallel LKE player) this is
+    /// 1 by construction, so nested solves never over-subscribe.
+    pub fn workers(&self, ground: usize) -> usize {
+        if ground < self.min_ground {
+            1
+        } else {
+            rayon::current_num_threads()
+        }
+    }
 }
 
 /// Reusable allocation bundle for the best-response engines: the
@@ -91,6 +142,10 @@ pub struct SolverScratch {
     /// growth (advances monotonically with the eccentricity guess).
     pub(crate) cursors: Vec<usize>,
     pub(crate) engine: engine::DominationEngine,
+    /// When the exact solves behind this scratch fan out over the
+    /// work-stealing pool. Defaults keep small views sequential;
+    /// results are bit-identical under any policy.
+    pub parallel: ParallelPolicy,
 }
 
 impl SolverScratch {
@@ -128,6 +183,12 @@ impl Responder {
     pub fn greedy() -> Self {
         Self::new(Mode::Greedy)
     }
+
+    /// Sets the owned scratch's [`ParallelPolicy`] (builder style).
+    pub fn with_parallel(mut self, policy: ParallelPolicy) -> Self {
+        self.scratch.parallel = policy;
+        self
+    }
 }
 
 impl BestResponder for Responder {
@@ -151,6 +212,40 @@ impl BestResponder for Responder {
 /// equilibrium); MaxNCG checks are exact in both directions.
 pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
     equilibrium::is_lke_with(state, spec, &mut Responder::exact())
+}
+
+/// Exact LKE check with the `n` best responses fanned out over the
+/// work-stealing pool: one [`Responder`] per worker, so each worker's
+/// [`SolverScratch`] (BFS buffers, APSP orders, domination engine) is
+/// reused across all the players it processes. Inside the pool the
+/// per-player solves run on the sequential engine (nested parallelism
+/// is inline, so the machine is never over-subscribed) — the player
+/// fan-out *is* the parallelism here. Same answer as [`is_lke`] on
+/// every input — the per-player verdicts are independent — and the
+/// same SumNCG caveat applies. A found violation short-circuits: the
+/// remaining players skip their solves, mirroring [`is_lke`]'s
+/// first-violation exit up to in-flight work.
+///
+/// This is the certification path of the lower-bound gadget sweeps
+/// (`ncg-constructions`), whose torus and high-girth instances are the
+/// largest exact solves in the workspace.
+pub fn is_lke_par(state: &GameState, spec: &GameSpec) -> bool {
+    let violated = std::sync::atomic::AtomicBool::new(false);
+    let _: Vec<()> = (0..state.n() as NodeId)
+        .into_par_iter()
+        .map_init(Responder::exact, |responder, u| {
+            if violated.load(std::sync::atomic::Ordering::Relaxed) {
+                return;
+            }
+            let view = PlayerView::build(state, u, spec.k);
+            let current = ncg_core::deviation::current_total(spec, &view);
+            let best = responder.best_response(spec, &view);
+            if GameSpec::strictly_better(best.total_cost, current) {
+                violated.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        })
+        .collect();
+    !violated.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// First improving player found by the exact responder, with her

@@ -99,7 +99,18 @@ pub fn max_best_response_with(
             usize::MAX
         };
         let solution = match mode {
-            Mode::Exact => scratch.engine.solve_exact(cutoff),
+            // Large views fan the branch-and-bound out over the
+            // work-stealing pool per the scratch's policy; the
+            // two-pass canonical rule keeps the result bit-identical
+            // to the sequential solve (DESIGN.md §8).
+            Mode::Exact => match scratch.parallel.workers(n_local) {
+                workers if workers > 1 => scratch.engine.solve_exact_parallel(
+                    cutoff,
+                    workers,
+                    scratch.parallel.per_worker,
+                ),
+                _ => scratch.engine.solve_exact(cutoff),
+            },
             Mode::Greedy => scratch.engine.solve_greedy().filter(|s| s.len() < cutoff),
         };
         let Some(strategy) = solution else { continue };

@@ -40,6 +40,13 @@ pub fn sum_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Devi
 /// [`sum_best_response`] with caller-provided scratch — the
 /// multi-source BFS buffers of every candidate evaluation are reused
 /// across calls.
+///
+/// The scratch's [`ParallelPolicy`](crate::ParallelPolicy) is carried
+/// but inert here: neither subset enumeration nor hill climbing has a
+/// domination tree to frontier-split, so SumNCG responses always run
+/// sequentially (and stay deterministic trivially). A caller holding
+/// one scratch for both objectives gets the Max-side parallelism
+/// without any Sum-side behaviour change.
 pub fn sum_best_response_with(
     spec: &GameSpec,
     view: &PlayerView,

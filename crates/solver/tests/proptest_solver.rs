@@ -7,7 +7,8 @@ use ncg_core::{GameSpec, GameState, PlayerView};
 use ncg_graph::NodeId;
 use ncg_solver::bitset::BitSet;
 use ncg_solver::dominating::DominationInstance;
-use ncg_solver::{max_br, Mode, SolverScratch};
+use ncg_solver::engine::DominationEngine;
+use ncg_solver::{max_br, Mode, ParallelPolicy, SolverScratch};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -153,6 +154,80 @@ proptest! {
                     brute.total_cost,
                 );
             }
+        }
+    }
+
+    /// The parallel branch-and-bound returns the *bit-identical*
+    /// solution (not just the same size) as the sequential solver, for
+    /// every worker count and under real thread pools — including
+    /// cutoff (`None`) and infeasible instances. This is the §8
+    /// two-pass canonical-selection contract the CI determinism job
+    /// relies on.
+    #[test]
+    fn parallel_solve_is_bit_identical_across_thread_counts(
+        seed in 0u64..400,
+        p in 0.08f64..0.35,
+        forced in any::<bool>(),
+        sabotage in any::<bool>(),
+        cutoff_slack in 0usize..3,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 24usize;
+        let g = ncg_graph::generators::gnp(n, p, &mut rng).unwrap();
+        let mut inst = DominationInstance::closed_neighborhoods(
+            &g,
+            if forced { vec![3] } else { vec![] },
+        );
+        if sabotage {
+            // Vertex 0 loses every dominator: the instance is
+            // infeasible and every solver must say `None`.
+            for c in &mut inst.covers {
+                c.remove(0);
+            }
+        }
+        let opt = DominationEngine::from_instance(&inst).solve_exact(usize::MAX);
+        let cutoff = match (&opt, cutoff_slack) {
+            (Some(sol), 0) => sol.len(),     // optimum is not < cutoff → None
+            (Some(sol), 1) => sol.len() + 1, // tightest feasible cutoff
+            _ => usize::MAX,
+        };
+        let expected = DominationEngine::from_instance(&inst).solve_exact(cutoff);
+        for workers in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+            let got = pool.install(|| {
+                DominationEngine::from_instance(&inst).solve_exact_parallel(cutoff, workers, 3)
+            });
+            prop_assert_eq!(&got, &expected, "workers = {}", workers);
+        }
+    }
+
+    /// Forcing the parallel policy all the way down (every view
+    /// parallelises) leaves the full best-response reduction
+    /// bit-identical — strategy and cost — to the sequential-only
+    /// policy: the `ParallelPolicy` is purely a performance knob.
+    #[test]
+    fn max_br_parallel_policy_is_transparent(
+        seed in 0u64..60,
+        k in 2u32..5,
+        alpha in 0.1f64..4.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(26, 0.12, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::max(alpha, k);
+        let mut seq = SolverScratch::new();
+        seq.parallel = ParallelPolicy::sequential();
+        let mut par = SolverScratch::new();
+        par.parallel = ParallelPolicy { min_ground: 0, per_worker: 2 };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        for u in (0..state.n() as NodeId).step_by(7) {
+            let view = PlayerView::build(&state, u, k);
+            let a = max_br::max_best_response_with(&spec, &view, Mode::Exact, &mut seq);
+            let b = pool.install(|| {
+                max_br::max_best_response_with(&spec, &view, Mode::Exact, &mut par)
+            });
+            prop_assert_eq!(&a.strategy_local, &b.strategy_local, "u = {}", u);
+            prop_assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "u = {}", u);
         }
     }
 

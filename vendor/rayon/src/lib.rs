@@ -39,6 +39,15 @@ fn current_threads() -> usize {
         .max(1)
 }
 
+/// The number of worker threads a parallel map issued here would use —
+/// mirrors `rayon::current_num_threads`. Honours an installed
+/// [`ThreadPool`] override and reports 1 inside a pool worker (nested
+/// parallelism runs inline), which is what lets callers size a fan-out
+/// without ever over-subscribing.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
 /// Restores a thread-local [`Cell`] on drop, so overrides cannot leak
 /// past a panicking closure.
 struct CellRestore<T: Copy + 'static> {
@@ -419,6 +428,18 @@ mod tests {
             "sleepy items did not overlap ({elapsed:?} ≥ {:?}) — stealing broken?",
             t * 2
         );
+    }
+
+    #[test]
+    fn current_num_threads_tracks_pool_and_workers() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        assert!(crate::current_num_threads() >= 1);
+        // Inside a worker, nested parallelism is inline: threads = 1.
+        let inner: Vec<usize> = pool.install(|| {
+            (0..4usize).into_par_iter().map(|_| crate::current_num_threads()).collect()
+        });
+        assert!(inner.into_iter().all(|t| t == 1));
     }
 
     #[test]
