@@ -67,16 +67,40 @@ fn bench_sum(c: &mut Criterion) {
     let mut group = c.benchmark_group("sum_best_response");
     group.sample_size(15);
     let tree = tree_state(80, 3);
-    // Small view: exact enumeration path.
+    // Small view (k = 2, well under 20 candidates): subset enumeration
+    // and the branch-and-bound on the same instance, with the results
+    // pinned equal so the bench doubles as a parity check — a bound
+    // bug here would fail loudly rather than quietly reporting a
+    // faster-but-wrong engine.
     let spec2 = GameSpec::sum(1.0, 2);
     let view2 = PlayerView::build(&tree, 0, 2);
-    group.bench_function("tree80_k2_exact", |b| {
-        b.iter(|| sum_br::sum_best_response(&spec2, &view2, Mode::Exact))
+    let reference = ncg_core::equilibrium::best_response_exhaustive(&spec2, &view2).unwrap();
+    group.bench_function("enumerate", |b| {
+        b.iter(|| ncg_core::equilibrium::best_response_exhaustive(&spec2, &view2).unwrap())
     });
-    // Large view: hill-climb path.
-    let spec_full = GameSpec::sum(1.0, 1000);
-    let view_full = PlayerView::build(&tree, 0, 1000);
-    group.bench_function("tree80_full_hillclimb", |b| {
+    group.bench_function("bnb", |b| {
+        let mut scratch = SolverScratch::new();
+        b.iter(|| {
+            let d = sum_br::sum_best_response_with(&spec2, &view2, Mode::Exact, &mut scratch);
+            assert_eq!(d.strategy_local, reference.strategy_local, "bnb diverged from enumeration");
+            d
+        })
+    });
+    // Full-knowledge view (63 candidates, far beyond any enumeration
+    // cap): the exact branch-and-bound on the dynamics hot path with
+    // warm scratch, against the hill-climb heuristic it replaced as
+    // the `Mode::Exact` fallback. Same instance class as the
+    // `perf_smoke.rs` pin (tree 64, seed 11, α = 2.0) — the α ≈ 1 tie
+    // plateau is deliberately avoided here; DESIGN.md §9 explains why
+    // no admissible bound can prune it.
+    let tree_full = tree_state(64, 11);
+    let spec_full = GameSpec::sum(2.0, 1000);
+    let view_full = PlayerView::build(&tree_full, 0, 1000);
+    group.bench_function("bnb_full_view", |b| {
+        let mut scratch = SolverScratch::new();
+        b.iter(|| sum_br::sum_best_response_with(&spec_full, &view_full, Mode::Exact, &mut scratch))
+    });
+    group.bench_function("hillclimb", |b| {
         b.iter(|| sum_br::sum_best_response(&spec_full, &view_full, Mode::Greedy))
     });
     group.finish();

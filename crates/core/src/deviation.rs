@@ -105,6 +105,26 @@ pub fn evaluate_max(
     DeviationEval::Usage(ecc)
 }
 
+/// Proposition 2.2 as a per-vertex constraint on *source* distances:
+/// the largest `min_{s ∈ σ' ∪ incoming} d_{H∖u}(s, v)` a legal SumNCG
+/// strategy may leave vertex `v` at.
+///
+/// Frontier vertices (distance exactly `k` in `H`) must stay within
+/// distance `k` of the center, i.e. within `k − 1` of a source; every
+/// other vertex merely has to stay reachable (`INFINITY − 1` accepts
+/// any finite distance). A strategy is SumNCG-legal iff every
+/// `v ≠ center` meets its limit — [`evaluate_sum`] applies the rule
+/// per evaluation, and the `ncg-solver` sum engine prunes whole
+/// subtrees with the *same* limits, so the two cannot drift.
+#[inline]
+pub fn sum_source_limit(view: &PlayerView, v: NodeId) -> u32 {
+    if view.dist[v as usize] == view.k {
+        view.k - 1
+    } else {
+        INFINITY - 1
+    }
+}
+
 /// SumNCG worst-case usage of playing `strategy_local` from this view:
 /// `Σ_{v∈H} d_{H'}(center, v)`, with the Proposition 2.2 frontier rule.
 pub fn evaluate_sum(
@@ -120,11 +140,11 @@ pub fn evaluate_sum(
     // identifies moves whose Eq. (3) value is unbounded even when H'
     // stays connected.
     for v in 0..view.len() as NodeId {
-        if v != view.center && view.dist[v as usize] == view.k {
-            let d = dist[v as usize];
-            if d == INFINITY || 1 + d as u64 > view.k as u64 {
-                return DeviationEval::ForbiddenFrontier;
-            }
+        if v != view.center
+            && view.dist[v as usize] == view.k
+            && dist[v as usize] > sum_source_limit(view, v)
+        {
+            return DeviationEval::ForbiddenFrontier;
         }
     }
     let mut sum = 0u64;

@@ -462,6 +462,30 @@ mod tests {
     }
 
     #[test]
+    fn sum_warm_started_runs_match_cold_runs_bitwise() {
+        // The exact SumNCG branch-and-bound warm-restarts through the
+        // arena's responder (distance rows, per-depth pools, node
+        // scratch); reusing one arena across (state, α, k) combinations
+        // must reproduce every cold run exactly — including
+        // full-knowledge views well past the old enumeration cap.
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut arena = CacheArena::new();
+        for n in [12usize, 20] {
+            let tree = ncg_graph::generators::random_tree(n, &mut rng);
+            let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+            for (alpha, k) in [(0.5, 2u32), (1.5, 3), (0.8, 1000)] {
+                let config = DynamicsConfig::new(GameSpec::sum(alpha, k));
+                let warm = run_with_cache(initial.clone(), &config, &mut arena);
+                let cold = run(initial.clone(), &config);
+                assert_eq!(warm.outcome, cold.outcome, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.state, cold.state, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.total_moves, cold.total_moves, "n={n} α={alpha} k={k}");
+                assert_eq!(warm.solver_calls, cold.solver_calls, "n={n} α={alpha} k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn run_many_matches_sequential_runs() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let initials: Vec<GameState> = (0..6)

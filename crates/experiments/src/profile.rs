@@ -91,6 +91,22 @@ impl Profile {
         }
     }
 
+    /// The tree size of the SumNCG extension sweep: the largest size
+    /// in the profile that keeps *every* α cell tractable for the
+    /// exact branch-and-bound. The binding cell is α ≈ 1, where the
+    /// cost grid `α·t + usage` makes purchase-for-distance swaps
+    /// exactly cost-neutral: optima proliferate into a tie plateau no
+    /// admissible bound can prune (DESIGN.md §9), so exact solves
+    /// scale far worse there than in the cheap-α or p-median-like
+    /// regimes that `perf_smoke.rs` pins at n = 64. Sizes are chosen
+    /// so the degenerate cells stay within each profile's time
+    /// budget: seconds per solve for `paper`, tens of milliseconds
+    /// for `quick`.
+    pub fn sum_tree_n(&self) -> usize {
+        let cap = if self.reps >= 20 { 50 } else { 30 };
+        self.tree_ns.iter().copied().filter(|&n| n <= cap).max().unwrap_or(cap)
+    }
+
     /// The ER row used by Figures 8–9 (paper: `n = 100, p = 0.1`);
     /// profiles without that exact row use their densest row.
     pub fn headline_er(&self) -> (usize, f64) {
@@ -145,6 +161,9 @@ mod tests {
     fn headline_selectors_match_the_paper() {
         // Figures 5, 8, 9 and 10-left use n = 100 (and G(100, 0.1)).
         assert_eq!(Profile::paper().headline_tree_n(), 100);
+        assert_eq!(Profile::paper().sum_tree_n(), 50);
+        assert_eq!(Profile::quick().sum_tree_n(), 30);
+        assert_eq!(Profile::smoke().sum_tree_n(), 24);
         assert_eq!(Profile::paper().headline_er(), (100, 0.1));
         assert_eq!(Profile::smoke().headline_tree_n(), 24);
         assert_eq!(Profile::smoke().headline_er(), (24, 0.2));

@@ -14,9 +14,12 @@
 //!   scratch buffer of the branch-and-bound.
 //! * [`max_br`] — MaxNCG best response via eccentricity guessing +
 //!   domination of powers of `H ∖ {u}`, driving one engine per view.
-//! * [`sum_br`] — SumNCG best response (exact enumeration on small
-//!   views, hill climbing beyond — the paper's experiments avoid
-//!   SumNCG for exactly this hardness).
+//! * [`sum_br`] / [`sum_engine`] — SumNCG best response: an exact
+//!   include/exclude branch-and-bound over candidate purchases
+//!   (admissible residual-improvement bounds, DESIGN.md §9) with hill
+//!   climbing as the greedy ablation arm. The paper's experiments
+//!   avoid SumNCG for its hardness; our exact path handles the
+//!   ~100-node full-knowledge views of the dynamics.
 //! * [`SolverScratch`] — the reusable allocation bundle (BFS buffers,
 //!   APSP orders, the engine) threaded through the `*_with` entry
 //!   points; hold one per thread or long-lived computation.
@@ -47,6 +50,7 @@ pub mod dominating;
 pub mod engine;
 pub mod max_br;
 pub mod sum_br;
+pub mod sum_engine;
 
 use ncg_core::deviation::EvalScratch;
 use ncg_core::equilibrium::{self, BestResponder, Deviation};
@@ -142,6 +146,7 @@ pub struct SolverScratch {
     /// growth (advances monotonically with the eccentricity guess).
     pub(crate) cursors: Vec<usize>,
     pub(crate) engine: engine::DominationEngine,
+    pub(crate) sum: sum_engine::SumEngine,
     /// When the exact solves behind this scratch fan out over the
     /// work-stealing pool. Defaults keep small views sequential;
     /// results are bit-identical under any policy.
@@ -206,10 +211,12 @@ impl BestResponder for Responder {
 
 /// Exact LKE check: `n` exact best responses.
 ///
-/// For [`Objective::Sum`] on views larger than the exhaustive cap the
-/// underlying best response is a hill climb, making the check sound
-/// only as a *negative* certificate (a found improvement disproves
-/// equilibrium); MaxNCG checks are exact in both directions.
+/// Exact in both directions for both objectives: MaxNCG solves run
+/// the domination branch-and-bound, SumNCG solves the include/exclude
+/// branch-and-bound of [`sum_engine::SumEngine`] (the seed-era
+/// hill-climb fallback — which made SumNCG checks sound only as a
+/// negative certificate — is gone), so a `true` here is a genuine
+/// equilibrium certificate for any view size.
 pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
     equilibrium::is_lke_with(state, spec, &mut Responder::exact())
 }
@@ -221,8 +228,9 @@ pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
 /// per-player solves run on the sequential engine (nested parallelism
 /// is inline, so the machine is never over-subscribed) — the player
 /// fan-out *is* the parallelism here. Same answer as [`is_lke`] on
-/// every input — the per-player verdicts are independent — and the
-/// same SumNCG caveat applies. A found violation short-circuits: the
+/// every input — the per-player verdicts are independent, and both
+/// objectives are exact in both directions. A found violation
+/// short-circuits: the
 /// remaining players skip their solves, mirroring [`is_lke`]'s
 /// first-violation exit up to in-flight work.
 ///
@@ -301,5 +309,18 @@ mod tests {
         let state = GameState::star_center_owned(12);
         assert!(is_lke(&state, &GameSpec::max(2.0, 4)));
         assert!(is_lke(&state, &GameSpec::sum(2.0, 4)));
+    }
+
+    #[test]
+    fn sum_lke_certifies_positively_beyond_the_enumeration_cap() {
+        // 29 candidates per full view — past both the old 14-candidate
+        // sum cap and core's EXHAUSTIVE_CAP, so this `true` is the
+        // branch-and-bound's positive certificate, not enumeration's.
+        // With cheap edges the center finds real improvements and the
+        // certificate flips.
+        let state = GameState::star_center_owned(30);
+        assert!(is_lke(&state, &GameSpec::sum(2.0, 4)));
+        assert!(is_lke_par(&state, &GameSpec::sum(2.0, 4)));
+        assert!(!is_lke(&state, &GameSpec::sum(0.5, 4)));
     }
 }

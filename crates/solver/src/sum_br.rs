@@ -4,32 +4,36 @@
 //! and `1 < α < 2` (Section 2 of the paper, via MINIMUM DOMINATING
 //! SET), and — unlike MaxNCG — the paper gives no practical reduction;
 //! its experiments are restricted to MaxNCG for exactly this reason.
-//! We provide:
+//! We go further than the paper here:
 //!
-//! * exact subset enumeration for views with at most
-//!   [`ncg_core::equilibrium::EXHAUSTIVE_CAP`] candidates, and
-//! * deterministic hill climbing (best improving add / drop / swap,
-//!   repeated to a fixed point) beyond that, clearly a heuristic.
+//! * [`Mode::Exact`] runs the include/exclude branch-and-bound of
+//!   [`SumEngine`](crate::sum_engine::SumEngine) on every view — no
+//!   candidate cap, exact on the ~100-node full-knowledge views of the
+//!   paper's dynamics (the seed-era 14-candidate enumeration limit is
+//!   gone). Large views fan out over the work-stealing pool per the
+//!   scratch's [`ParallelPolicy`](crate::ParallelPolicy), with
+//!   bit-identical results for any worker count.
+//! * [`Mode::Greedy`] is deterministic hill climbing (best improving
+//!   add / drop / swap, repeated to a fixed point) — kept as the
+//!   heuristic ablation arm and as the proptest foil the exact path
+//!   must never lose to.
 //!
 //! Both respect Proposition 2.2's frontier rule through
-//! [`ncg_core::deviation::evaluate_sum`].
+//! [`ncg_core::deviation::evaluate_sum`]: the engine prunes with the
+//! same per-vertex [`sum_source_limit`](ncg_core::deviation::sum_source_limit)
+//! the evaluator enforces, and every returned deviation is re-scored
+//! through [`evaluate_total`], so the evaluator stays authoritative.
 
 use ncg_core::deviation::{current_total, evaluate_total, EvalScratch};
-use ncg_core::equilibrium::{best_response_exhaustive_with, Deviation};
+use ncg_core::equilibrium::Deviation;
 use ncg_core::{GameSpec, PlayerView};
 use ncg_graph::NodeId;
 
 use crate::{Mode, SolverScratch};
 
-/// Candidate cap for the exact enumeration path (`2^14` evaluations —
-/// a few milliseconds). Views beyond this fall back to hill climbing
-/// even in [`Mode::Exact`]; the larger `ncg_core` exhaustive cap is
-/// meant for one-off certification, not for per-turn dynamics.
-pub const SUM_EXACT_CAP: usize = 14;
-
-/// Computes a SumNCG best response: exact when the view is small
-/// enough to enumerate (and `mode` is [`Mode::Exact`]), hill climbing
-/// otherwise. Never returns something worse than the current strategy.
+/// Computes a SumNCG best response: the exact branch-and-bound in
+/// [`Mode::Exact`], hill climbing in [`Mode::Greedy`]. Never returns
+/// something worse than the current strategy.
 ///
 /// Creates a throwaway [`SolverScratch`] per call; hot loops should
 /// hold one and call [`sum_best_response_with`] instead.
@@ -37,16 +41,15 @@ pub fn sum_best_response(spec: &GameSpec, view: &PlayerView, mode: Mode) -> Devi
     sum_best_response_with(spec, view, mode, &mut SolverScratch::new())
 }
 
-/// [`sum_best_response`] with caller-provided scratch — the
-/// multi-source BFS buffers of every candidate evaluation are reused
-/// across calls.
+/// [`sum_best_response`] with caller-provided scratch: the BFS rows,
+/// per-depth pools and node buffers of the branch-and-bound (and the
+/// evaluation buffers of the hill climb) are reused across calls, so
+/// dynamics rounds warm-restart the solver exactly like `max_br`.
 ///
-/// The scratch's [`ParallelPolicy`](crate::ParallelPolicy) is carried
-/// but inert here: neither subset enumeration nor hill climbing has a
-/// domination tree to frontier-split, so SumNCG responses always run
-/// sequentially (and stay deterministic trivially). A caller holding
-/// one scratch for both objectives gets the Max-side parallelism
-/// without any Sum-side behaviour change.
+/// The scratch's [`ParallelPolicy`](crate::ParallelPolicy) governs
+/// when an exact solve fans out over the work-stealing pool; results
+/// are bit-identical under any policy and worker count (the canonical
+/// frontier fold of [`SumEngine::solve_parallel`](crate::sum_engine::SumEngine::solve_parallel)).
 pub fn sum_best_response_with(
     spec: &GameSpec,
     view: &PlayerView,
@@ -56,11 +59,33 @@ pub fn sum_best_response_with(
     if view.len() <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
-    if mode == Mode::Exact && view.candidate_count() <= SUM_EXACT_CAP {
-        return best_response_exhaustive_with(spec, view, &mut scratch.eval)
-            .expect("candidate count checked against the cap");
+    if mode == Mode::Exact {
+        return branch_and_bound(spec, view, scratch);
     }
     hill_climb(spec, view, &mut scratch.eval)
+}
+
+/// The exact path: prepare the scratch's [`SumEngine`](crate::sum_engine::SumEngine)
+/// on this view (warm restart), solve — parallel when the policy says
+/// the view is big enough — and re-score the winner through
+/// [`evaluate_total`] so the returned cost is, bit for bit, what the
+/// evaluator assigns the strategy ([`BestResponder`](ncg_core::equilibrium::BestResponder)'s
+/// contract).
+fn branch_and_bound(spec: &GameSpec, view: &PlayerView, scratch: &mut SolverScratch) -> Deviation {
+    scratch.sum.prepare(spec, view);
+    let workers = scratch.parallel.workers(view.len());
+    let inc = if workers > 1 {
+        scratch.sum.solve_parallel(workers, scratch.parallel.per_worker)
+    } else {
+        scratch.sum.solve()
+    };
+    let total_cost = evaluate_total(spec, view, &inc.strategy, &mut scratch.eval);
+    debug_assert_eq!(
+        total_cost.to_bits(),
+        inc.cost.to_bits(),
+        "engine cost must agree with evaluate_sum on the winning strategy"
+    );
+    Deviation { strategy_local: inc.strategy, total_cost }
 }
 
 /// Deterministic steepest-descent local search over single
@@ -150,8 +175,34 @@ mod tests {
                     let view = PlayerView::build(&state, u, spec.k);
                     let a = sum_best_response(&spec, &view, Mode::Exact);
                     let b = best_response_exhaustive(&spec, &view).unwrap();
+                    assert_eq!(a.strategy_local, b.strategy_local, "u={u} α={alpha}");
                     assert!((a.total_cost - b.total_cost).abs() < 1e-9);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_beats_or_ties_hill_climb_beyond_the_old_cap() {
+        // 30-node full-knowledge views: 29 candidates, far past the
+        // removed 14-candidate enumeration limit. Exact must never be
+        // worse than either the heuristic or standing pat.
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let g = ncg_graph::generators::gnp_connected(30, 0.12, 100, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        for alpha in [0.4, 1.2, 3.5] {
+            let spec = GameSpec::sum(alpha, 1000);
+            for u in (0..state.n() as NodeId).step_by(5) {
+                let view = PlayerView::build(&state, u, spec.k);
+                let exact = sum_best_response(&spec, &view, Mode::Exact);
+                let greedy = sum_best_response(&spec, &view, Mode::Greedy);
+                assert!(
+                    exact.total_cost <= greedy.total_cost + ncg_core::EPS,
+                    "u={u} α={alpha}: exact {} vs greedy {}",
+                    exact.total_cost,
+                    greedy.total_cost,
+                );
+                assert!(exact.total_cost <= current_total(&spec, &view) + ncg_core::EPS);
             }
         }
     }

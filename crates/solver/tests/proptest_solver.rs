@@ -8,7 +8,7 @@ use ncg_graph::NodeId;
 use ncg_solver::bitset::BitSet;
 use ncg_solver::dominating::DominationInstance;
 use ncg_solver::engine::DominationEngine;
-use ncg_solver::{max_br, Mode, ParallelPolicy, SolverScratch};
+use ncg_solver::{max_br, sum_br, Mode, ParallelPolicy, SolverScratch};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -228,6 +228,99 @@ proptest! {
             });
             prop_assert_eq!(&a.strategy_local, &b.strategy_local, "u = {}", u);
             prop_assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "u = {}", u);
+        }
+    }
+
+    /// The sum branch-and-bound agrees with exhaustive subset
+    /// enumeration — strategy and cost bits, not just cost — on every
+    /// view small enough to enumerate (all of them sit under the old
+    /// 14-candidate `SUM_EXACT_CAP` this engine removed).
+    #[test]
+    fn sum_bnb_matches_exhaustive(
+        seed in 0u64..200,
+        k in 1u32..5,
+        alpha in 0.05f64..6.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(13, 0.2, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::sum(alpha, k);
+        let mut scratch = SolverScratch::new();
+        for u in (0..state.n() as NodeId).step_by(3) {
+            let view = PlayerView::build(&state, u, k);
+            let bnb = sum_br::sum_best_response_with(&spec, &view, Mode::Exact, &mut scratch);
+            let brute = best_response_exhaustive(&spec, &view).unwrap();
+            prop_assert_eq!(&bnb.strategy_local, &brute.strategy_local, "u = {}", u);
+            prop_assert_eq!(bnb.total_cost.to_bits(), brute.total_cost.to_bits(), "u = {}", u);
+        }
+    }
+
+    /// Beyond the old enumeration cap the exact engine must never lose
+    /// to the hill-climb heuristic, nor to standing pat — on
+    /// full-knowledge views of ~30 nodes where the seed solver could
+    /// only hill-climb.
+    #[test]
+    fn sum_bnb_never_worse_than_hill_climb(
+        seed in 0u64..100,
+        alpha in 0.1f64..5.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(28, 0.12, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::sum(alpha, 1000);
+        let mut scratch = SolverScratch::new();
+        for u in (0..state.n() as NodeId).step_by(9) {
+            let view = PlayerView::build(&state, u, spec.k);
+            let exact = sum_br::sum_best_response_with(&spec, &view, Mode::Exact, &mut scratch);
+            let greedy = sum_br::sum_best_response_with(&spec, &view, Mode::Greedy, &mut scratch);
+            let current = ncg_core::deviation::current_total(&spec, &view);
+            prop_assert!(
+                exact.total_cost <= greedy.total_cost + ncg_core::EPS,
+                "u={}: exact {} vs hill climb {}", u, exact.total_cost, greedy.total_cost,
+            );
+            prop_assert!(exact.total_cost <= current + ncg_core::EPS);
+        }
+    }
+
+    /// Forcing the sum solves to parallelise leaves the best response
+    /// bit-identical — strategy and cost — to the sequential policy,
+    /// for worker pools of 1, 2 and 4 threads (the `NCG_THREADS`
+    /// determinism contract, sum side), and a warm scratch reused
+    /// across every solve matches a cold one per call.
+    #[test]
+    fn sum_bnb_parallel_and_warm_scratch_are_transparent(
+        seed in 0u64..60,
+        k in 2u32..6,
+        alpha in 0.1f64..4.0,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = ncg_graph::generators::gnp_connected(24, 0.14, 500, &mut rng).unwrap();
+        let state = GameState::from_graph_random_ownership(&g, &mut rng);
+        let spec = GameSpec::sum(alpha, k);
+        let mut seq = SolverScratch::new();
+        seq.parallel = ParallelPolicy::sequential();
+        let mut warm = SolverScratch::new();
+        warm.parallel = ParallelPolicy { min_ground: 0, per_worker: 2 };
+        for u in (0..state.n() as NodeId).step_by(7) {
+            let view = PlayerView::build(&state, u, k);
+            let a = sum_br::sum_best_response_with(&spec, &view, Mode::Exact, &mut seq);
+            for workers in [1usize, 2, 4] {
+                let pool =
+                    rayon::ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+                let b = pool.install(|| {
+                    sum_br::sum_best_response_with(&spec, &view, Mode::Exact, &mut warm)
+                });
+                // Cold scratch, same pool: warm reuse must be invisible.
+                let c = pool.install(|| {
+                    let mut cold = SolverScratch::new();
+                    cold.parallel = ParallelPolicy { min_ground: 0, per_worker: 2 };
+                    sum_br::sum_best_response_with(&spec, &view, Mode::Exact, &mut cold)
+                });
+                prop_assert_eq!(&a.strategy_local, &b.strategy_local, "u = {}", u);
+                prop_assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "u = {}", u);
+                prop_assert_eq!(&b.strategy_local, &c.strategy_local, "u = {}", u);
+                prop_assert_eq!(b.total_cost.to_bits(), c.total_cost.to_bits(), "u = {}", u);
+            }
         }
     }
 
