@@ -8,7 +8,7 @@
 //!   cloning) measured through dynamics with a tiny round cap.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ncg_core::{GameSpec, GameState, Objective};
+use ncg_core::{GameSpec, GameState};
 use ncg_dynamics::{run, run_many, DynamicsConfig};
 use ncg_experiments::workloads;
 use rand::SeedableRng;
@@ -70,7 +70,7 @@ fn bench_sum_vs_max_dynamics(c: &mut Criterion) {
         b.iter(|| run(initial.clone(), &config))
     });
     group.bench_function("sum_k3", |b| {
-        let config = DynamicsConfig::new(GameSpec { alpha: 1.5, k: 3, objective: Objective::Sum });
+        let config = DynamicsConfig::new(GameSpec::sum(1.5, 3));
         b.iter(|| run(initial.clone(), &config))
     });
     group.finish();

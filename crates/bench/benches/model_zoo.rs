@@ -1,0 +1,111 @@
+//! Model-zoo benchmarks: the cost of routing best responses through
+//! the generic front, and the per-scenario engines it dispatches to.
+//!
+//! * default Max/Sum through the front vs the specialised engines it
+//!   forwards to — the dispatch itself must be free;
+//! * the swap-neighbourhood enumeration (polynomial, exact at every
+//!   view size);
+//! * non-uniform pricing on bounded views (exact enumeration) and on
+//!   full-knowledge views (deterministic hill climb);
+//! * swap and non-uniform dynamics end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncg_core::{GameSpec, GameState, Objective, PlayerView, Scenario};
+use ncg_dynamics::{run, DynamicsConfig};
+use ncg_solver::{front, max_br, sum_br, Mode, SolverScratch};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn er_state(n: usize, p: f64, seed: u64) -> GameState {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = ncg_graph::generators::gnp_connected(n, p, 100, &mut rng).unwrap();
+    GameState::from_graph_random_ownership(&g, &mut rng)
+}
+
+fn bench_front_dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo_front_dispatch");
+    group.sample_size(20);
+    let state = er_state(40, 0.1, 21);
+    let max_spec = GameSpec::max(1.0, 3);
+    let sum_spec = GameSpec::sum(1.0, 2);
+    let mut scratch = SolverScratch::new();
+    group.bench_function("front_max", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 7, max_spec.k);
+            front::best_response_with(&max_spec, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    group.bench_function("direct_max", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 7, max_spec.k);
+            max_br::max_best_response_with(&max_spec, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    group.bench_function("front_sum", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 7, sum_spec.k);
+            front::best_response_with(&sum_spec, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    group.bench_function("direct_sum", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 7, sum_spec.k);
+            sum_br::sum_best_response_with(&sum_spec, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_best_responses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo_scenarios");
+    group.sample_size(20);
+    let state = er_state(40, 0.1, 22);
+    let mut scratch = SolverScratch::new();
+    let swap = Scenario::swap(Objective::Max).spec(1.0, 1000);
+    group.bench_function("swap_full_view", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 3, swap.k);
+            front::best_response_with(&swap, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    let nonuni_bounded = Scenario::non_uniform(Objective::Max, 0xA5).spec(1.0, 2);
+    group.bench_function("nonuniform_bounded_view", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 3, nonuni_bounded.k);
+            front::best_response_with(&nonuni_bounded, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    let nonuni_full = Scenario::non_uniform(Objective::Max, 0xA5).spec(1.0, 1000);
+    group.bench_function("nonuniform_full_view_hill_climb", |b| {
+        b.iter(|| {
+            let view = PlayerView::build(&state, 3, nonuni_full.k);
+            front::best_response_with(&nonuni_full, &view, Mode::Exact, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo_dynamics");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let tree = ncg_graph::generators::random_tree(40, &mut rng);
+    let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+    let swap = Scenario::swap(Objective::Max).spec(0.5, 3);
+    group.bench_function("swap_tree_dynamics", |b| {
+        b.iter(|| run(initial.clone(), &DynamicsConfig::new(swap)))
+    });
+    let nonuni = Scenario::non_uniform(Objective::Max, 0xA5).spec(0.5, 2);
+    group.bench_function("nonuniform_tree_dynamics", |b| {
+        b.iter(|| run(initial.clone(), &DynamicsConfig::new(nonuni)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_front_dispatch_overhead,
+    bench_scenario_best_responses,
+    bench_scenario_dynamics
+);
+criterion_main!(benches);

@@ -22,7 +22,7 @@
 use ncg_graph::bfs::{bfs_multi, DistanceBuffer};
 use ncg_graph::{NodeId, INFINITY};
 
-use crate::{GameSpec, Objective, PlayerView};
+use crate::{GameSpec, PlayerView};
 
 /// Outcome of evaluating a candidate strategy in the worst case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,30 +162,28 @@ pub fn evaluate_sum(
 }
 
 /// Evaluates a candidate strategy under the spec's objective and
-/// returns the player's **total** worst-case cost
-/// `α·|σ'| + usage` (`+∞` for disconnecting / forbidden moves).
+/// returns the player's **total** worst-case cost — the edge-cost
+/// model's price of `σ'` plus the usage (`+∞` for disconnecting /
+/// forbidden moves). Dispatches through the spec's
+/// [`UsageCost`](crate::scenario::UsageCost) instance; on the default
+/// (uniform, Max/Sum) scenarios this is bit-identical to the pre-trait
+/// `α·|σ'| + usage`.
 pub fn evaluate_total(
     spec: &GameSpec,
     view: &PlayerView,
     strategy_local: &[NodeId],
     scratch: &mut EvalScratch,
 ) -> f64 {
-    let eval = match spec.objective {
-        Objective::Max => evaluate_max(view, strategy_local, scratch),
-        Objective::Sum => evaluate_sum(view, strategy_local, scratch),
-    };
-    spec.total_cost(strategy_local.len(), eval.usage())
+    let eval = spec.objective.usage_cost().evaluate(view, strategy_local, scratch);
+    spec.priced_total(view, strategy_local, eval.usage())
 }
 
 /// The player's *current* total cost as she perceives it (usage
 /// measured inside the view). This is the baseline a deviation must
 /// strictly beat.
 pub fn current_total(spec: &GameSpec, view: &PlayerView) -> f64 {
-    let usage = match spec.objective {
-        Objective::Max => view.ecc_in_view() as u64,
-        Objective::Sum => view.status_in_view(),
-    };
-    spec.total_cost(view.purchases.len(), Some(usage))
+    let usage = spec.objective.usage_cost().current_usage(view);
+    spec.priced_total(view, &view.purchases, Some(usage))
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 use ncg_graph::NodeId;
 
 use crate::deviation::{current_total, evaluate_total, EvalScratch};
+use crate::scenario::{MoveRule as _, MoveRulePolicy};
 use crate::{GameSpec, GameState, PlayerView};
 
 /// A concrete deviation: a strategy (in *local* view coordinates) and
@@ -76,8 +77,11 @@ impl std::error::Error for TooLarge {}
 /// Candidate cap for exhaustive enumeration (`2^20` evaluations).
 pub const EXHAUSTIVE_CAP: usize = 20;
 
-/// Exact best response by enumerating every subset of the view's
-/// candidate targets. Exponential; see [`EXHAUSTIVE_CAP`].
+/// Exact best response by enumerating every legal move of the spec's
+/// move rule: all `2^{candidates}` subsets under
+/// [`MoveRulePolicy::AnySubset`] (exponential; see [`EXHAUSTIVE_CAP`]),
+/// the polynomial swap neighbourhood under [`MoveRulePolicy::Swap`]
+/// (never [`TooLarge`]).
 ///
 /// Ties are broken toward fewer purchased edges, then lexicographically
 /// smaller strategies, so the result is deterministic.
@@ -94,29 +98,22 @@ pub fn best_response_exhaustive_with(
     scratch: &mut EvalScratch,
 ) -> Result<Deviation, TooLarge> {
     let candidates = view.candidate_count();
-    if candidates > EXHAUSTIVE_CAP {
+    if spec.move_rule == MoveRulePolicy::AnySubset && candidates > EXHAUSTIVE_CAP {
         return Err(TooLarge { candidates, cap: EXHAUSTIVE_CAP });
     }
     let mut best =
         Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
-    let mut strat: Vec<NodeId> = Vec::with_capacity(candidates);
-    for mask in 0u32..(1u32 << candidates) {
-        strat.clear();
-        for (i, c) in view.candidates_iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                strat.push(c);
-            }
-        }
-        let cost = evaluate_total(spec, view, &strat, scratch);
+    spec.move_rule.for_each_move(view, &mut |strat| {
+        let cost = evaluate_total(spec, view, strat, scratch);
         let better = GameSpec::strictly_better(cost, best.total_cost)
             || ((cost - best.total_cost).abs() <= crate::EPS
                 && (strat.len() < best.strategy_local.len()
                     || (strat.len() == best.strategy_local.len()
                         && strat[..] < best.strategy_local[..])));
         if better {
-            best = Deviation { strategy_local: strat.clone(), total_cost: cost };
+            best = Deviation { strategy_local: strat.to_vec(), total_cost: cost };
         }
-    }
+    });
     Ok(best)
 }
 
@@ -243,7 +240,7 @@ mod tests {
         for obj in [Objective::Max, Objective::Sum] {
             for k in 1..=4 {
                 for alpha in [0.1, 1.0, 3.0] {
-                    let spec = GameSpec { alpha, k, objective: obj };
+                    let spec = GameSpec::new(alpha, k, obj);
                     for u in 0..9 {
                         let view = PlayerView::build(&state, u, k);
                         let best = best_response_exhaustive(&spec, &view).unwrap();

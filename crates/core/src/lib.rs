@@ -49,11 +49,13 @@
 pub mod deviation;
 pub mod dot;
 pub mod equilibrium;
+pub mod scenario;
 pub mod social;
 mod spec;
 mod state;
 pub mod view;
 
+pub use scenario::{EdgeCost, EdgeCostModel, MoveRule, MoveRulePolicy, Scenario, UsageCost};
 pub use spec::{GameSpec, Objective, EPS};
 pub use state::{EdgeDiff, GameState};
 pub use view::{PlayerView, ViewScratch};
@@ -68,6 +70,9 @@ pub mod prelude {
     pub use crate::equilibrium::{self, BestResponder, Deviation};
     pub use crate::social;
     pub use crate::view::{PlayerView, ViewScratch};
-    pub use crate::{EdgeDiff, GameSpec, GameState, Objective, EPS};
+    pub use crate::{
+        EdgeCost, EdgeCostModel, EdgeDiff, GameSpec, GameState, MoveRule, MoveRulePolicy,
+        Objective, Scenario, EPS,
+    };
     pub use ncg_graph::prelude::*;
 }

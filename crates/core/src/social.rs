@@ -8,23 +8,15 @@
 //! which matches the benchmarks the paper plots ("quality of
 //! equilibrium", Figures 6–7).
 
-use ncg_graph::metrics;
-
-use crate::{GameSpec, GameState, Objective};
+use crate::scenario::EdgeCost as _;
+use crate::{GameSpec, GameState};
 
 /// Per-player cost vector `C_u(σ)` under the *true* (full-knowledge)
 /// graph — the costs that social welfare is measured on, regardless of
 /// what players can see. `None` entries mean the graph is disconnected
 /// (infinite cost).
 pub fn player_costs(state: &GameState, spec: &GameSpec) -> Vec<Option<f64>> {
-    let g = state.graph();
-    let usages: Vec<Option<u64>> = match spec.objective {
-        Objective::Max => metrics::eccentricities(g)
-            .into_iter()
-            .map(|e| if e == ncg_graph::INFINITY { None } else { Some(e as u64) })
-            .collect(),
-        Objective::Sum => metrics::statuses(g),
-    };
+    let usages = spec.objective.usage_cost().graph_usages(state.graph());
     player_costs_with_usages(state, spec, &usages)
 }
 
@@ -47,7 +39,14 @@ pub fn player_costs_with_usages(
     usages
         .iter()
         .enumerate()
-        .map(|(u, usage)| usage.map(|us| spec.alpha * state.bought(u as u32) as f64 + us as f64))
+        .map(|(u, usage)| {
+            // `bought_price` prices the player's global purchase
+            // targets; its uniform arm is `α · |σ_u|`, bit-identical
+            // to the pre-scenario expression.
+            usage.map(|us| {
+                spec.edge_cost.bought_price(spec.alpha, state.strategy(u as u32)) + us as f64
+            })
+        })
         .collect()
 }
 
@@ -71,11 +70,8 @@ pub fn social_cost_with_usages(
 /// One player's true (full-knowledge) cost `α·|σ_u| + usage_u`;
 /// `None` when she does not reach the whole graph.
 pub fn player_cost(state: &GameState, spec: &GameSpec, u: ncg_graph::NodeId) -> Option<f64> {
-    let usage = match spec.objective {
-        Objective::Max => metrics::eccentricity(state.graph(), u).map(|e| e as u64),
-        Objective::Sum => metrics::status(state.graph(), u),
-    }?;
-    Some(spec.alpha * state.bought(u) as f64 + usage as f64)
+    let usage = spec.objective.usage_cost().vertex_usage(state.graph(), u)?;
+    Some(spec.edge_cost.bought_price(spec.alpha, state.strategy(u)) + usage as f64)
 }
 
 /// Closed-form social cost of the spanning star on `n` nodes
@@ -83,34 +79,63 @@ pub fn player_cost(state: &GameState, spec: &GameSpec, u: ncg_graph::NodeId) -> 
 ///
 /// * MaxNCG: `α(n−1) + 1 + 2(n−1)` (center ecc 1, each leaf ecc 2).
 /// * SumNCG: `α(n−1) + 2(n−1)²` (center status `n−1`, leaf status `2n−3`).
+///
+/// Under per-target pricing the edge part is no longer `α(n−1)`: each
+/// star edge `(c, v)` is bought by whichever endpoint gets it cheaper
+/// (`α·min(w(c), w(v))`), minimized over the choice of center `c` on
+/// the nodes `0..n` — the usage part is the objective's closed form
+/// unchanged.
 pub fn star_cost(n: usize, spec: &GameSpec) -> f64 {
     if n <= 1 {
         return 0.0;
     }
+    let uc = spec.objective.usage_cost();
+    if spec.edge_cost.is_uniform() {
+        if n == 2 {
+            // Single edge: both endpoints have usage 1 under either objective.
+            return spec.alpha + 2.0;
+        }
+        return uc.star_cost_uniform(n as f64, spec.alpha);
+    }
+    let edge_part = (0..n as ncg_graph::NodeId)
+        .map(|c| {
+            let wc = spec.edge_cost.multiplier(c);
+            (0..n as ncg_graph::NodeId)
+                .filter(|&v| v != c)
+                .map(|v| spec.alpha * spec.edge_cost.multiplier(v).min(wc))
+                .sum::<f64>()
+        })
+        .fold(f64::INFINITY, f64::min);
     if n == 2 {
-        // Single edge: both endpoints have usage 1 under either objective.
-        return spec.alpha + 2.0;
+        return edge_part + 2.0;
     }
-    let n = n as f64;
-    match spec.objective {
-        Objective::Max => spec.alpha * (n - 1.0) + 1.0 + 2.0 * (n - 1.0),
-        Objective::Sum => spec.alpha * (n - 1.0) + 2.0 * (n - 1.0) * (n - 1.0),
-    }
+    edge_part + uc.star_usage(n as f64)
 }
 
 /// Closed-form social cost of the clique on `n` nodes.
 ///
 /// * MaxNCG: `α·n(n−1)/2 + n` (every eccentricity 1).
 /// * SumNCG: `α·n(n−1)/2 + n(n−1)`.
+///
+/// Under per-target pricing each clique edge is bought by its cheaper
+/// endpoint: `Σ_{u<v} α·min(w(u), w(v))` plus the objective's usage
+/// part.
 pub fn clique_cost(n: usize, spec: &GameSpec) -> f64 {
     if n <= 1 {
         return 0.0;
     }
-    let n = n as f64;
-    match spec.objective {
-        Objective::Max => spec.alpha * n * (n - 1.0) / 2.0 + n,
-        Objective::Sum => spec.alpha * n * (n - 1.0) / 2.0 + n * (n - 1.0),
+    let uc = spec.objective.usage_cost();
+    if spec.edge_cost.is_uniform() {
+        return uc.clique_cost_uniform(n as f64, spec.alpha);
     }
+    let mut edge_part = 0.0;
+    for u in 0..n as ncg_graph::NodeId {
+        let wu = spec.edge_cost.multiplier(u);
+        for v in (u + 1)..n as ncg_graph::NodeId {
+            edge_part += spec.alpha * spec.edge_cost.multiplier(v).min(wu);
+        }
+    }
+    edge_part + uc.clique_usage(n as f64)
 }
 
 /// The social optimum benchmark: `min(star, clique)`.

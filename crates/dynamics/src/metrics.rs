@@ -67,12 +67,11 @@ impl StateMetrics {
             let size = buf.distances().iter().filter(|&&d| d != INFINITY && d <= spec.k).count();
             min_view = min_view.min(size);
             view_total += size;
-            usages.push(match spec.objective {
-                ncg_core::Objective::Max => reaches_all.then_some(ecc as u64),
-                ncg_core::Objective::Sum => {
-                    reaches_all.then(|| buf.distances().iter().map(|&d| d as u64).sum())
-                }
-            });
+            usages.push(spec.objective.usage_cost().distance_usage(
+                reaches_all,
+                ecc,
+                buf.distances(),
+            ));
         }
         if n == 0 {
             min_view = 0;

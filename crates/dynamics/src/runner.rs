@@ -326,7 +326,6 @@ pub fn run_many(initials: Vec<GameState>, config: &DynamicsConfig) -> Vec<RunRes
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ncg_core::Objective;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -456,7 +455,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let tree = ncg_graph::generators::random_tree(12, &mut rng);
         let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
-        let config = DynamicsConfig::new(GameSpec { alpha: 1.5, k: 2, objective: Objective::Sum });
+        let config = DynamicsConfig::new(GameSpec::sum(1.5, 2));
         let result = run(initial, &config);
         assert!(result.outcome.converged(), "SumNCG dynamics should settle on a small tree");
     }

@@ -248,7 +248,7 @@ fn run_shard(
             &states,
             &spec.alphas,
             &spec.ks,
-            spec.objective,
+            spec.scenario(),
             ctx.warm_start,
             shard,
             &|index| skip[index],

@@ -23,6 +23,8 @@
 //! | [`figure10`] | Figure 10 — convergence rounds vs `α` and vs `n` |
 //! | [`lower_bounds`] | Lemma 3.1 / 3.2, Theorems 3.12 / 4.2 certifications |
 //! | [`sum_extension`] | *extension*: SumNCG dynamics sweep + Theorem 4.4 check |
+//! | [`swap_ncg`] | *extension*: swap-game dynamics (one edge re-pointed per move) |
+//! | [`nonuniform`] | *extension*: per-target edge prices `α·w(v)` (model zoo) |
 //!
 //! Every experiment takes a [`Profile`]: [`Profile::quick`] (default;
 //! trimmed grids that finish in minutes on a laptop) or
@@ -57,9 +59,11 @@ pub mod figure9;
 pub mod figures12;
 pub mod journal;
 pub mod lower_bounds;
+pub mod nonuniform;
 pub mod output;
 pub mod profile;
 pub mod sum_extension;
+pub mod swap_ncg;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -7,7 +7,7 @@
 //!
 //! experiments: table1 table2 figures12 figure3 figure4 figure5
 //!              figure6 figure7 figure8 figure9 figure10
-//!              lower-bounds sum-extension all
+//!              lower-bounds sum-extension swap-ncg nonuniform all
 //! --full/--paper   use the paper's exact grid instead of the quick
 //!                  profile (with the paper's 20 repetitions this can
 //!                  take hours; combine with --reps to trade CI width
@@ -42,8 +42,8 @@ use std::process::ExitCode;
 
 use ncg_experiments::{
     figure10, figure3, figure4, figure5, figure6, figure7, figure8, figure9, figures12,
-    lower_bounds, sum_extension, table1, table2, ExperimentOutput, Profile, SweepContext,
-    SweepMode,
+    lower_bounds, nonuniform, sum_extension, swap_ncg, table1, table2, ExperimentOutput, Profile,
+    SweepContext, SweepMode,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -60,13 +60,24 @@ const EXPERIMENTS: &[&str] = &[
     "figure10",
     "lower-bounds",
     "sum-extension",
+    "swap-ncg",
+    "nonuniform",
 ];
 
 /// The experiments that run `(α, k, rep)` dynamics sweeps and hence
 /// understand sharding, journaling, and merging. The rest are cheap
 /// deterministic computations that every mode just runs locally.
-const SWEEP_EXPERIMENTS: &[&str] =
-    &["figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "sum-extension"];
+const SWEEP_EXPERIMENTS: &[&str] = &[
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "sum-extension",
+    "swap-ncg",
+    "nonuniform",
+];
 
 fn run_one(name: &str, profile: &Profile, ctx: &SweepContext) -> Option<ExperimentOutput> {
     let out = match name {
@@ -83,6 +94,8 @@ fn run_one(name: &str, profile: &Profile, ctx: &SweepContext) -> Option<Experime
         "figure10" => figure10::run_ctx(profile, ctx),
         "lower-bounds" => lower_bounds::run(profile),
         "sum-extension" => sum_extension::run_ctx(profile, ctx),
+        "swap-ncg" => swap_ncg::run_ctx(profile, ctx),
+        "nonuniform" => nonuniform::run_ctx(profile, ctx),
         _ => return None,
     };
     Some(out)

@@ -28,7 +28,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ncg_core::{GameSpec, GameState, Objective};
+use ncg_core::{EdgeCostModel, GameState, MoveRulePolicy, Objective, Scenario};
 use ncg_dynamics::{run, run_with_cache, CacheArena, DynamicsConfig, RunResult};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -66,7 +66,8 @@ pub enum Workload {
 }
 
 /// A declarative description of one sweep: the workload family, the
-/// parameter grid, and the objective. Everything the engine, the
+/// parameter grid, and the scenario (objective plus edge-cost and
+/// move-rule axes of the model zoo). Everything the engine, the
 /// journal, and the merge fold need — states are only sampled when
 /// cells actually run.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,10 +88,16 @@ pub struct SweepSpec {
     pub ks: Vec<u32>,
     /// Game objective.
     pub objective: Objective,
+    /// Edge-cost model (`Uniform` for every paper sweep).
+    pub edge_cost: EdgeCostModel,
+    /// Move rule (`AnySubset` for every paper sweep).
+    pub move_rule: MoveRulePolicy,
 }
 
 impl SweepSpec {
-    /// A random-tree sweep.
+    /// A random-tree sweep. The last argument is any scenario handle:
+    /// a bare [`Objective`] selects the canonical (uniform, subset)
+    /// game, a full [`Scenario`] selects a model-zoo variant.
     pub fn tree(
         label: impl Into<String>,
         n: usize,
@@ -98,8 +105,9 @@ impl SweepSpec {
         seed: u64,
         alphas: Vec<f64>,
         ks: Vec<u32>,
-        objective: Objective,
+        scenario: impl Into<Scenario>,
     ) -> Self {
+        let scenario = scenario.into();
         SweepSpec {
             label: label.into(),
             workload: Workload::Tree,
@@ -108,11 +116,13 @@ impl SweepSpec {
             seed,
             alphas,
             ks,
-            objective,
+            objective: scenario.objective,
+            edge_cost: scenario.edge_cost,
+            move_rule: scenario.move_rule,
         }
     }
 
-    /// An Erdős–Rényi sweep.
+    /// An Erdős–Rényi sweep; scenario handle as in [`SweepSpec::tree`].
     #[allow(clippy::too_many_arguments)] // mirrors `tree` plus the edge probability
     pub fn er(
         label: impl Into<String>,
@@ -122,8 +132,9 @@ impl SweepSpec {
         seed: u64,
         alphas: Vec<f64>,
         ks: Vec<u32>,
-        objective: Objective,
+        scenario: impl Into<Scenario>,
     ) -> Self {
+        let scenario = scenario.into();
         SweepSpec {
             label: label.into(),
             workload: Workload::Er(p),
@@ -132,8 +143,15 @@ impl SweepSpec {
             seed,
             alphas,
             ks,
-            objective,
+            objective: scenario.objective,
+            edge_cost: scenario.edge_cost,
+            move_rule: scenario.move_rule,
         }
+    }
+
+    /// The sweep's scenario (objective × edge cost × move rule).
+    pub fn scenario(&self) -> Scenario {
+        Scenario { objective: self.objective, edge_cost: self.edge_cost, move_rule: self.move_rule }
     }
 
     /// The workload class tag recorded in run records (`"tree"`/`"er"`).
@@ -202,6 +220,17 @@ impl SweepSpec {
         for &k in &self.ks {
             h = mix(h, u64::from(k) | 1 << 40);
         }
+        // Model-zoo axes are mixed only when non-default, so every
+        // journal written before the scenario layer existed (canonical
+        // uniform/subset games) keeps its fingerprint and stays
+        // resumable.
+        if let EdgeCostModel::PerTarget { seed } = self.edge_cost {
+            h = mix(h, 0xEDC0);
+            h = mix(h, seed);
+        }
+        if self.move_rule == MoveRulePolicy::Swap {
+            h = mix(h, 0x54A9);
+        }
         h
     }
 }
@@ -252,13 +281,14 @@ pub fn run_cells(
     states: &[GameState],
     alphas: &[f64],
     ks: &[u32],
-    objective: Objective,
+    scenario: impl Into<Scenario>,
     warm_start: bool,
     shard: Shard,
     skip: &(dyn Fn(usize) -> bool + Sync),
     sink: &(dyn Fn(CellId, RunResult) + Sync),
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) {
+    let scenario = scenario.into();
     assert!(shard.count >= 1 && shard.index < shard.count, "invalid shard {shard:?}");
     let reps = states.len();
     let index_of = |ai: usize, ki: usize, rep: usize| cell_index(ai, ki, rep, ks.len(), reps);
@@ -285,7 +315,7 @@ pub fn run_cells(
                     if skip(index) {
                         continue;
                     }
-                    let config = DynamicsConfig::new(GameSpec { alpha, k, objective });
+                    let config = DynamicsConfig::new(scenario.spec(alpha, k));
                     let result = if warm_start {
                         run_with_cache(states[rep].clone(), &config, &mut arena)
                     } else {
@@ -394,17 +424,19 @@ impl RunRecord {
     }
 }
 
-/// Runs MaxNCG dynamics for every `(α, k)` in the grid and every
-/// starting state, in parallel, returning results sorted by
+/// Runs dynamics for every `(α, k)` in the grid and every starting
+/// state, in parallel, returning results sorted by
 /// `(α-index, k-index, rep)` — the collect-style convenience over the
 /// streaming engine (tests, examples, small grids). Warm-starts per
 /// repetition like the streaming path; the progress counter is a
 /// lock-free atomic, so the callback no longer serialises workers.
+/// The scenario handle is a bare [`Objective`] for the canonical
+/// games or a full [`Scenario`] for model-zoo variants.
 pub fn sweep(
     states: &[GameState],
     alphas: &[f64],
     ks: &[u32],
-    objective: Objective,
+    scenario: impl Into<Scenario>,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> Vec<CellResult> {
     let collected: Mutex<Vec<(usize, CellResult)>> =
@@ -413,7 +445,7 @@ pub fn sweep(
         states,
         alphas,
         ks,
-        objective,
+        scenario,
         true,
         Shard::all(),
         &|_| false,
@@ -607,7 +639,7 @@ mod tests {
         // A toggling two-player gadget that can never converge, with a
         // cap of 1 round: the record must say rounds = 1, capped.
         let state = GameState::from_strategies(3, vec![vec![1], vec![2], vec![0]]);
-        let spec = GameSpec { alpha: 1.0, k: 2, objective: Objective::Max };
+        let spec = ncg_core::GameSpec::max(1.0, 2);
         let mut config = DynamicsConfig::new(spec);
         config.max_rounds = 0;
         let result = run(state, &config);

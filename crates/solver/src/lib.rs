@@ -20,11 +20,17 @@
 //!   climbing as the greedy ablation arm. The paper's experiments
 //!   avoid SumNCG for its hardness; our exact path handles the
 //!   ~100-node full-knowledge views of the dynamics.
+//! * [`front`] — the generic best-response front: one entry point
+//!   dispatching every model-zoo cell (objective × edge cost × move
+//!   rule × mode) to the right engine — the exact Max/Sum engines on
+//!   their uniform subset-move home turf, exact swap-neighbourhood
+//!   enumeration for swap games, enumeration-or-hill-climb for
+//!   non-uniform pricing.
 //! * [`SolverScratch`] — the reusable allocation bundle (BFS buffers,
 //!   APSP orders, the engine) threaded through the `*_with` entry
 //!   points; hold one per thread or long-lived computation.
 //! * [`Responder`] — a [`ncg_core::equilibrium::BestResponder`]
-//!   dispatching on the spec's objective, in [`Mode::Exact`] or
+//!   dispatching through [`front`], in [`Mode::Exact`] or
 //!   [`Mode::Greedy`] (the ablation axis). Owns a [`SolverScratch`],
 //!   so a responder held across a dynamics run reuses all solver
 //!   state from round to round.
@@ -48,13 +54,14 @@
 pub mod bitset;
 pub mod dominating;
 pub mod engine;
+pub mod front;
 pub mod max_br;
 pub mod sum_br;
 pub mod sum_engine;
 
 use ncg_core::deviation::EvalScratch;
 use ncg_core::equilibrium::{self, BestResponder, Deviation};
-use ncg_core::{GameSpec, GameState, Objective, PlayerView};
+use ncg_core::{GameSpec, GameState, PlayerView};
 use ncg_graph::bfs::DistanceBuffer;
 use ncg_graph::NodeId;
 use rayon::prelude::*;
@@ -83,20 +90,49 @@ pub enum Mode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelPolicy {
     /// Ground sets (view sizes) strictly smaller than this always
-    /// solve sequentially. The default keeps the ≈100-node
-    /// full-knowledge views of the paper's dynamics — ~0.7 ms solves —
-    /// on the sequential fast path while the certification-scale
-    /// instances beyond it fan out.
+    /// solve sequentially *until a solve-time estimate exists* (and
+    /// always, when `adaptive` is off). The default keeps the
+    /// ≈100-node full-knowledge views of the paper's dynamics —
+    /// ~0.7 ms solves — on the sequential fast path while the
+    /// certification-scale instances beyond it fan out.
     pub min_ground: usize,
     /// Root-frontier subproblems per worker (the `C` in the `W·C`
     /// frontier target): enough slack for the steal-half scheduler to
     /// rebalance uneven subtrees.
     pub per_worker: usize,
+    /// Derive the cutover from *measured* per-node solve times once a
+    /// [`SolveEstimate`] has samples, instead of the static
+    /// `min_ground` size threshold (on by default). Decisions may then
+    /// differ run to run with the machine's load — harmless, because
+    /// every engine is bit-identical for any worker count. Pinned off
+    /// by [`ParallelPolicy::sequential`] and by the
+    /// `NCG_PAR_MIN_GROUND` environment override.
+    pub adaptive: bool,
+}
+
+/// Ground sets below this never fan out, whatever the estimate says:
+/// at dynamics-view scale the frontier expansion plus per-worker
+/// engine snapshots cost more than the solve.
+pub const ADAPTIVE_FLOOR: usize = 24;
+
+/// Predicted sequential solve time (nanoseconds) above which fanning
+/// out pays for its setup — about 2 ms, a few hundred times the
+/// per-worker snapshot cost.
+pub const ADAPTIVE_CUTOVER_NANOS: f64 = 2_000_000.0;
+
+/// Parses the `NCG_PAR_MIN_GROUND` override: a plain ground-set size
+/// that pins the static threshold (and disables adaptation). Pure, so
+/// it is testable without racing the process environment.
+pub fn min_ground_override(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse().ok()
 }
 
 impl Default for ParallelPolicy {
     fn default() -> Self {
-        ParallelPolicy { min_ground: 112, per_worker: 8 }
+        match min_ground_override(std::env::var("NCG_PAR_MIN_GROUND").ok().as_deref()) {
+            Some(pinned) => ParallelPolicy { min_ground: pinned, per_worker: 8, adaptive: false },
+            None => ParallelPolicy { min_ground: 112, per_worker: 8, adaptive: true },
+        }
     }
 }
 
@@ -104,19 +140,78 @@ impl ParallelPolicy {
     /// A policy that never parallelises (single-core ablations, bench
     /// baselines).
     pub fn sequential() -> Self {
-        ParallelPolicy { min_ground: usize::MAX, ..Self::default() }
+        ParallelPolicy { min_ground: usize::MAX, adaptive: false, ..Self::default() }
     }
 
-    /// Worker count for a solve over `ground` elements: 1 below the
-    /// threshold, otherwise the pool's current thread count. Inside a
-    /// pool worker (a sweep repetition, a parallel LKE player) this is
-    /// 1 by construction, so nested solves never over-subscribe.
+    /// Worker count for a solve over `ground` elements under the
+    /// static threshold: 1 below it, otherwise the pool's current
+    /// thread count. Inside a pool worker (a sweep repetition, a
+    /// parallel LKE player) this is 1 by construction, so nested
+    /// solves never over-subscribe.
     pub fn workers(&self, ground: usize) -> usize {
         if ground < self.min_ground {
             1
         } else {
             rayon::current_num_threads()
         }
+    }
+
+    /// Worker count for a solve over `ground` elements, preferring the
+    /// measured per-node solve-time estimate when `adaptive` is on and
+    /// samples exist: fan out iff the predicted sequential time clears
+    /// [`ADAPTIVE_CUTOVER_NANOS`] (never below [`ADAPTIVE_FLOOR`]).
+    /// With no samples yet — or with `adaptive` off — this is the
+    /// static [`ParallelPolicy::workers`] threshold.
+    pub fn workers_for(&self, ground: usize, estimate: &SolveEstimate) -> usize {
+        if !self.adaptive {
+            return self.workers(ground);
+        }
+        if ground < ADAPTIVE_FLOOR {
+            return 1;
+        }
+        match estimate.predicted_nanos(ground) {
+            Some(nanos) if nanos >= ADAPTIVE_CUTOVER_NANOS => rayon::current_num_threads(),
+            Some(_) => 1,
+            None => self.workers(ground),
+        }
+    }
+}
+
+/// Running estimate of sequential exact-solve cost, as an exponential
+/// moving average of per-ground-element time. [`SolverScratch`] owns
+/// one; the engines record each *sequential* exact solve of at least
+/// [`ADAPTIVE_FLOOR`] elements, and
+/// [`ParallelPolicy::workers_for`] predicts the next solve's cost from
+/// it. Purely advisory — the solve result is bit-identical however the
+/// decision falls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveEstimate {
+    per_node_nanos: f64,
+    samples: u64,
+}
+
+impl SolveEstimate {
+    /// Folds one sequential solve (`ground` elements, `elapsed_nanos`
+    /// wall time) into the moving average.
+    pub fn record(&mut self, ground: usize, elapsed_nanos: u64) {
+        if ground == 0 {
+            return;
+        }
+        let sample = elapsed_nanos as f64 / ground as f64;
+        self.per_node_nanos =
+            if self.samples == 0 { sample } else { 0.7 * self.per_node_nanos + 0.3 * sample };
+        self.samples += 1;
+    }
+
+    /// Predicted sequential solve time over `ground` elements, or
+    /// `None` before the first sample.
+    pub fn predicted_nanos(&self, ground: usize) -> Option<f64> {
+        (self.samples > 0).then_some(self.per_node_nanos * ground as f64)
+    }
+
+    /// Number of solves folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
     }
 }
 
@@ -151,6 +246,8 @@ pub struct SolverScratch {
     /// work-stealing pool. Defaults keep small views sequential;
     /// results are bit-identical under any policy.
     pub parallel: ParallelPolicy,
+    /// Measured solve-time estimate feeding the adaptive policy.
+    pub estimate: SolveEstimate,
 }
 
 impl SolverScratch {
@@ -198,14 +295,7 @@ impl Responder {
 
 impl BestResponder for Responder {
     fn best_response(&mut self, spec: &GameSpec, view: &PlayerView) -> Deviation {
-        match spec.objective {
-            Objective::Max => {
-                max_br::max_best_response_with(spec, view, self.mode, &mut self.scratch)
-            }
-            Objective::Sum => {
-                sum_br::sum_best_response_with(spec, view, self.mode, &mut self.scratch)
-            }
-        }
+        front::best_response_with(spec, view, self.mode, &mut self.scratch)
     }
 }
 

@@ -27,11 +27,11 @@
 
 use ncg_core::deviation::{current_total, evaluate_max};
 use ncg_core::equilibrium::Deviation;
-use ncg_core::{GameSpec, PlayerView};
+use ncg_core::{GameSpec, MoveRulePolicy, PlayerView};
 use ncg_graph::{CsrGraph, NodeId};
 
 use crate::bitset::BitSet;
-use crate::{Mode, SolverScratch};
+use crate::{Mode, SolverScratch, ADAPTIVE_FLOOR};
 
 /// Computes the MaxNCG best response for `view` under `spec`.
 ///
@@ -57,6 +57,12 @@ pub fn max_best_response_with(
     mode: Mode,
     scratch: &mut SolverScratch,
 ) -> Deviation {
+    debug_assert!(
+        spec.edge_cost.is_uniform() && spec.move_rule == MoveRulePolicy::AnySubset,
+        "the max engine's ⌈slack/α⌉ cutoff is only sound for uniform \
+         edge costs and subset moves; other scenarios must go through \
+         front::best_response_with"
+    );
     let n_local = view.len();
     let mut best =
         Deviation { strategy_local: view.purchases.clone(), total_cost: current_total(spec, view) };
@@ -79,6 +85,11 @@ pub fn max_best_response_with(
     let mut universe = BitSet::full(n_local);
     universe.remove(view.center);
     scratch.engine.reset(universe, &view.incoming);
+    // One fan-out decision per view (not per guess): the adaptive
+    // policy consults the measured per-node solve estimate, and the
+    // sequential path below feeds it after the loop.
+    let workers = scratch.parallel.workers_for(n_local, &scratch.estimate);
+    let solve_start = std::time::Instant::now();
     for h in 1..=h_cap {
         if h as f64 >= best.total_cost - ncg_core::EPS {
             break;
@@ -103,14 +114,10 @@ pub fn max_best_response_with(
             // work-stealing pool per the scratch's policy; the
             // two-pass canonical rule keeps the result bit-identical
             // to the sequential solve (DESIGN.md §8).
-            Mode::Exact => match scratch.parallel.workers(n_local) {
-                workers if workers > 1 => scratch.engine.solve_exact_parallel(
-                    cutoff,
-                    workers,
-                    scratch.parallel.per_worker,
-                ),
-                _ => scratch.engine.solve_exact(cutoff),
-            },
+            Mode::Exact if workers > 1 => {
+                scratch.engine.solve_exact_parallel(cutoff, workers, scratch.parallel.per_worker)
+            }
+            Mode::Exact => scratch.engine.solve_exact(cutoff),
             Mode::Greedy => scratch.engine.solve_greedy().filter(|s| s.len() < cutoff),
         };
         let Some(strategy) = solution else { continue };
@@ -122,6 +129,9 @@ pub fn max_best_response_with(
         if is_better(spec, &strategy, cost, &best) {
             best = Deviation { strategy_local: strategy, total_cost: cost };
         }
+    }
+    if workers <= 1 && mode == Mode::Exact && n_local >= ADAPTIVE_FLOOR {
+        scratch.estimate.record(n_local, solve_start.elapsed().as_nanos() as u64);
     }
     best
 }

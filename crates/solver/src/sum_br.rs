@@ -24,12 +24,12 @@
 //! the evaluator enforces, and every returned deviation is re-scored
 //! through [`evaluate_total`], so the evaluator stays authoritative.
 
-use ncg_core::deviation::{current_total, evaluate_total, EvalScratch};
+use ncg_core::deviation::evaluate_total;
 use ncg_core::equilibrium::Deviation;
-use ncg_core::{GameSpec, PlayerView};
-use ncg_graph::NodeId;
+use ncg_core::{GameSpec, MoveRulePolicy, PlayerView};
 
-use crate::{Mode, SolverScratch};
+use crate::front::hill_climb;
+use crate::{Mode, SolverScratch, ADAPTIVE_FLOOR};
 
 /// Computes a SumNCG best response: the exact branch-and-bound in
 /// [`Mode::Exact`], hill climbing in [`Mode::Greedy`]. Never returns
@@ -56,6 +56,12 @@ pub fn sum_best_response_with(
     mode: Mode,
     scratch: &mut SolverScratch,
 ) -> Deviation {
+    debug_assert!(
+        spec.edge_cost.is_uniform() && spec.move_rule == MoveRulePolicy::AnySubset,
+        "the sum engine's count-based α·t pricing is only sound for \
+         uniform edge costs and subset moves; other scenarios must go \
+         through front::best_response_with"
+    );
     if view.len() <= 1 {
         return Deviation { strategy_local: Vec::new(), total_cost: spec.total_cost(0, Some(0)) };
     }
@@ -73,12 +79,16 @@ pub fn sum_best_response_with(
 /// contract).
 fn branch_and_bound(spec: &GameSpec, view: &PlayerView, scratch: &mut SolverScratch) -> Deviation {
     scratch.sum.prepare(spec, view);
-    let workers = scratch.parallel.workers(view.len());
+    let workers = scratch.parallel.workers_for(view.len(), &scratch.estimate);
+    let solve_start = std::time::Instant::now();
     let inc = if workers > 1 {
         scratch.sum.solve_parallel(workers, scratch.parallel.per_worker)
     } else {
         scratch.sum.solve()
     };
+    if workers <= 1 && view.len() >= ADAPTIVE_FLOOR {
+        scratch.estimate.record(view.len(), solve_start.elapsed().as_nanos() as u64);
+    }
     let total_cost = evaluate_total(spec, view, &inc.strategy, &mut scratch.eval);
     debug_assert_eq!(
         total_cost.to_bits(),
@@ -88,78 +98,13 @@ fn branch_and_bound(spec: &GameSpec, view: &PlayerView, scratch: &mut SolverScra
     Deviation { strategy_local: inc.strategy, total_cost }
 }
 
-/// Deterministic steepest-descent local search over single
-/// additions, removals and swaps.
-fn hill_climb(spec: &GameSpec, view: &PlayerView, scratch: &mut EvalScratch) -> Deviation {
-    let mut current = view.purchases.clone();
-    let mut current_cost = current_total(spec, view);
-    // The empty strategy is a useful second seed: when the player's
-    // incoming edges alone keep the view connected, the hill climb can
-    // otherwise be stuck paying for redundant purchases.
-    let empty_cost = evaluate_total(spec, view, &[], scratch);
-    if GameSpec::strictly_better(empty_cost, current_cost) {
-        current = Vec::new();
-        current_cost = empty_cost;
-    }
-    // Bounded by the strictly-decreasing cost; the cap is a safety net.
-    for _round in 0..4 * view.len().max(4) {
-        let mut best_neighbor: Option<(Vec<NodeId>, f64)> = None;
-        let mut consider = |strategy: Vec<NodeId>, scratch: &mut EvalScratch| {
-            let cost = evaluate_total(spec, view, &strategy, scratch);
-            if GameSpec::strictly_better(cost, current_cost)
-                && best_neighbor.as_ref().is_none_or(|(bs, bc)| {
-                    GameSpec::strictly_better(cost, *bc)
-                        || ((cost - bc).abs() <= ncg_core::EPS
-                            && (strategy.len() < bs.len()
-                                || (strategy.len() == bs.len() && strategy < *bs)))
-                })
-            {
-                best_neighbor = Some((strategy, cost));
-            }
-        };
-        // Additions.
-        for c in view.candidates_iter() {
-            if current.binary_search(&c).is_err() {
-                let mut s = current.clone();
-                let pos = s.binary_search(&c).unwrap_err();
-                s.insert(pos, c);
-                consider(s, scratch);
-            }
-        }
-        // Removals.
-        for i in 0..current.len() {
-            let mut s = current.clone();
-            s.remove(i);
-            consider(s, scratch);
-        }
-        // Swaps: drop one purchase, add one non-purchase.
-        for i in 0..current.len() {
-            for c in view.candidates_iter() {
-                if current.binary_search(&c).is_err() {
-                    let mut s = current.clone();
-                    s.remove(i);
-                    let pos = s.binary_search(&c).unwrap_err();
-                    s.insert(pos, c);
-                    consider(s, scratch);
-                }
-            }
-        }
-        match best_neighbor {
-            Some((s, c)) => {
-                current = s;
-                current_cost = c;
-            }
-            None => break,
-        }
-    }
-    Deviation { strategy_local: current, total_cost: current_cost }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ncg_core::deviation::current_total;
     use ncg_core::equilibrium::best_response_exhaustive;
     use ncg_core::GameState;
+    use ncg_graph::NodeId;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

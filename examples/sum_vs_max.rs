@@ -38,7 +38,7 @@ fn main() {
     let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
     println!("\nsame 24-player random tree, α = 1.5, k = 3:");
     for objective in [Objective::Max, Objective::Sum] {
-        let spec = GameSpec { alpha: 1.5, k: 3, objective };
+        let spec = GameSpec::new(1.5, 3, objective);
         let result = run(initial.clone(), &DynamicsConfig::new(spec));
         let m = &result.final_metrics;
         println!(

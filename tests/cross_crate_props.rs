@@ -54,7 +54,7 @@ proptest! {
     fn best_responses_never_regress(state in arb_state(), k in 1u32..5, alpha in 0.05f64..8.0) {
         let mut scratch = EvalScratch::new();
         for objective in [Objective::Max, Objective::Sum] {
-            let spec = GameSpec { alpha, k, objective };
+            let spec = GameSpec::new(alpha, k, objective);
             for u in 0..state.n() as NodeId {
                 let view = PlayerView::build(&state, u, k);
                 let current = current_total(&spec, &view);
@@ -117,7 +117,7 @@ proptest! {
     #[test]
     fn optimum_is_a_lower_bound(state in arb_state(), alpha in 0.1f64..6.0) {
         for objective in [Objective::Max, Objective::Sum] {
-            let spec = GameSpec { alpha, k: 3, objective };
+            let spec = GameSpec::new(alpha, 3, objective);
             if let Some(sc) = ncg::core::social::social_cost(&state, &spec) {
                 let opt = ncg::core::social::optimum_cost(state.n(), &spec);
                 prop_assert!(sc >= opt - 1e-9,

@@ -44,7 +44,7 @@ fn social_cost_identity() {
     let result = settle_tree(20, GameSpec::max(1.5, 3), 7);
     let state = &result.state;
     for objective in [Objective::Max, Objective::Sum] {
-        let spec = GameSpec { alpha: 1.5, k: 3, objective };
+        let spec = GameSpec::new(1.5, 3, objective);
         let sc = social::social_cost(state, &spec).unwrap();
         let usage_sum: f64 = match objective {
             Objective::Max => {
