@@ -79,6 +79,7 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
                 count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             },
             None,
+            None,
         );
         count.into_inner()
     };

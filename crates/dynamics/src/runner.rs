@@ -183,6 +183,20 @@ impl CacheArena {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Discards the arena's view cache and responder and replaces them
+    /// with fresh ones.
+    ///
+    /// This is the *poison-recovery* path: if a run borrowing this
+    /// arena panicked (and the panic was caught with `catch_unwind`),
+    /// the cache's dirty-tracking and the responder's scratch may have
+    /// been left mid-update, and the warm-start soundness argument no
+    /// longer applies to them. Rebuilding restores the "fresh arena"
+    /// state, so the next [`run_with_cache`] call is observationally a
+    /// cold run — at the cost of re-growing the allocations once.
+    pub fn rebuild(&mut self) {
+        *self = CacheArena::new();
+    }
 }
 
 /// Like [`run`], but warm-started from `arena`: the arena's view
@@ -565,6 +579,41 @@ mod tests {
         let cold = run(initial, &greedy);
         assert_eq!(warm.outcome, cold.outcome);
         assert_eq!(warm.state, cold.state);
+    }
+
+    #[test]
+    fn rebuilt_arena_matches_cold_runs_after_a_caught_panic() {
+        // A panic mid-run (here: a responder that blows up after a few
+        // calls) may leave the arena's cache and responder scratch in
+        // an inconsistent state. After `rebuild`, warm runs through the
+        // same arena must again match cold runs bit for bit.
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let tree = ncg_graph::generators::random_tree(18, &mut rng);
+        let initial = GameState::from_graph_random_ownership(&tree, &mut rng);
+        let config = DynamicsConfig::new(GameSpec::max(0.5, 3));
+        let mut arena = CacheArena::new();
+        // Prime the arena, then poison it with a panicking run.
+        let _ = run_with_cache(initial.clone(), &config, &mut arena);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut calls = 0usize;
+            let mut inner = Responder::new(config.mode);
+            let mut bomb = |spec: &GameSpec, view: &PlayerView| {
+                calls += 1;
+                if calls > 3 {
+                    panic!("injected responder fault");
+                }
+                ncg_core::equilibrium::BestResponder::best_response(&mut inner, spec, view)
+            };
+            run_with(initial.clone(), &config, &mut bomb)
+        }));
+        assert!(panicked.is_err(), "the bomb responder must panic");
+        arena.rebuild();
+        let warm = run_with_cache(initial.clone(), &config, &mut arena);
+        let cold = run(initial, &config);
+        assert_eq!(warm.outcome, cold.outcome);
+        assert_eq!(warm.state, cold.state);
+        assert_eq!(warm.solver_calls, cold.solver_calls);
+        assert_eq!(warm.cache_stats, cold.cache_stats);
     }
 
     #[test]

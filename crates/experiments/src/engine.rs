@@ -1,6 +1,6 @@
 //! The experiment-level sweep orchestrator: one entry point
 //! ([`execute`]) that every dynamics figure routes its sweeps
-//! through, in one of three modes.
+//! through, in one of four modes.
 //!
 //! * **Local** — run every cell in-process (warm-started per rep),
 //!   stream each finished cell to the JSONL journal the moment it
@@ -18,19 +18,41 @@
 //!   the same order Local mode does and serialisation is
 //!   deterministic, merged tables and JSONL are byte-identical to a
 //!   single-process run (property-tested in
-//!   `tests/sweep_shard_props.rs`).
+//!   `tests/sweep_shard_props.rs`). Each entry's canonical index is
+//!   re-derived from its record under the merge target's grid, so
+//!   shards run with *different* `--reps` splits of one grid merge
+//!   cleanly — completeness is checked on the union.
+//! * **Plan** — run nothing and journal nothing; report the specs to
+//!   [`collect_plan`] so callers (the work-queue coordinator and its
+//!   workers) can learn an experiment's cell work-list without
+//!   executing it.
 //!
 //! The fold callback receives `(sweep index, cell, record)` strictly
 //! in canonical order: sweeps in plan order, cells by linear index.
+//!
+//! Failure isolation: a cell whose solve panics (caught in
+//! `run_cells`) is journaled as a `CellFailed` marker and the rest of
+//! the sweep completes; `execute` then panics with a summary instead
+//! of rendering tables from a hole-y grid. Re-running the experiment
+//! retries exactly the failed cells (completed ones resume from the
+//! journal).
+//!
+//! Fault injection: when the process-level `NCG_FAULT` plan is set
+//! (see [`crate::fault`]), the engine wires it through — the journal
+//! writer arms `torn_write`, the sink counts results for
+//! `kill_after_cells`, and `run_cells` injects `panic_cell`.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use ncg_stats::{Accumulator, Summary};
 use parking_lot::Mutex;
 
-use crate::journal::{self, JournalEntry, JournalWriter};
-use crate::sweep::{run_cells, CellId, RunRecord, Shard, SweepSpec};
+use crate::fault::{self, FaultPlan};
+use crate::journal::{self, CellFailed, JournalEntry, JournalWriter};
+use crate::sweep::{run_cells, CellId, CellOutcome, RunRecord, Shard, SweepSpec};
 
 /// How an experiment's sweeps are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +71,8 @@ pub enum SweepMode {
         /// Total number of shards to merge.
         count: usize,
     },
+    /// Run nothing; record the plan's specs for [`collect_plan`].
+    Plan,
 }
 
 /// Execution context threaded from the CLI into every experiment.
@@ -87,14 +111,16 @@ pub struct ExecReport {
     pub cells_run: usize,
     /// Cells replayed from journals (resume or merge).
     pub cells_resumed: usize,
+    /// Cells whose solve panicked (journaled as `CellFailed`).
+    pub cells_failed: usize,
     /// The journal written, if journaling was on.
     pub journal: Option<PathBuf>,
     shard: Option<(usize, usize)>,
 }
 
 impl ExecReport {
-    /// In shard mode, the note replacing the experiment's tables;
-    /// `None` otherwise.
+    /// In shard (and plan) mode, the note replacing the experiment's
+    /// tables; `None` otherwise.
     pub fn shard_note(&self, experiment: &str) -> Option<String> {
         let (index, count) = self.shard?;
         let path = self
@@ -111,33 +137,40 @@ impl ExecReport {
     }
 }
 
-/// Checks a resumed/merged entry against the cell the spec says it
-/// belongs to; a mismatch means the journal was produced by a
-/// different profile — including a different `--seed`, `--reps`,
-/// workload, or grid, which only the [`SweepSpec::fingerprint`] can
-/// see — and must not be silently mixed in.
-fn validate_entry(spec: &SweepSpec, cell: CellId, entry: &JournalEntry) {
+thread_local! {
+    static PLAN_SINK: RefCell<Option<Vec<SweepSpec>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with plan collection armed on this thread and returns
+/// every spec that [`execute`] calls under a [`SweepMode::Plan`]
+/// context reported while it ran. This is how the queue layer turns
+/// "experiment name" into "cell work-list" without running anything:
+/// drive the experiment with a Plan context inside `collect_plan`
+/// and read the specs off.
+pub fn collect_plan(f: impl FnOnce()) -> Vec<SweepSpec> {
+    PLAN_SINK.with(|sink| *sink.borrow_mut() = Some(Vec::new()));
+    f();
+    PLAN_SINK.with(|sink| sink.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Checks a journaled entry's grid fingerprint against the spec it
+/// claims to belong to; a mismatch means the journal was produced by
+/// a different profile — including a different `--seed`, workload, or
+/// `α`/`k` grid, which only the [`SweepSpec::fingerprint`] can see —
+/// and must not be silently mixed in. (A different `--reps` of the
+/// same grid is *not* a different profile: per-rep seeds don't depend
+/// on the rep count, so those journals fingerprint identically and
+/// merge.)
+fn validate_fingerprint(spec: &SweepSpec, entry_grid: u64, cell: usize) {
     assert!(
-        entry.grid == spec.fingerprint(),
+        entry_grid == spec.fingerprint(),
         "journal entry for sweep '{}' cell {} was written under a different profile \
-         (grid fingerprint {:#018x}, current {:#018x} — seed, reps, workload, or α/k \
+         (grid fingerprint {:#018x}, current {:#018x} — seed, workload, or α/k \
          grid changed); delete the stale journal and re-run",
         spec.label,
-        cell.index,
-        entry.grid,
+        cell,
+        entry_grid,
         spec.fingerprint()
-    );
-    let record = &entry.record;
-    let ok = record.alpha == spec.alphas[cell.ai]
-        && record.k == spec.ks[cell.ki]
-        && record.rep == cell.rep
-        && record.n == spec.n
-        && record.class == spec.class();
-    assert!(
-        ok,
-        "journal entry for sweep '{}' cell {} does not match the current profile \
-         (found α={} k={} rep={} n={} class={}); delete the stale journal and re-run",
-        spec.label, cell.index, record.alpha, record.k, record.rep, record.n, record.class
     );
 }
 
@@ -154,6 +187,7 @@ struct SinkState<'a> {
     pending: BTreeMap<usize, RunRecord>,
     next: usize,
     ran: usize,
+    failed: usize,
     fold: &'a mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
 }
 
@@ -168,10 +202,11 @@ impl SinkState<'_> {
 
 /// Executes an experiment's sweeps under the given context, driving
 /// `fold(sweep index, cell, record)` in canonical order (Local and
-/// Merge modes). Returns what happened; in shard mode the fold is
-/// never called. Panics on journal I/O errors, on merge journals
-/// that are incomplete or from a different profile, and on an
-/// invalid shard selection.
+/// Merge modes). Returns what happened; in shard and plan modes the
+/// fold is never called. Panics on journal I/O errors, on merge
+/// journals that are incomplete or from a different profile, on an
+/// invalid shard selection, and — after journaling `CellFailed`
+/// markers and compacting — when any cell's solve panicked.
 pub fn execute(
     ctx: &SweepContext,
     experiment: &str,
@@ -185,7 +220,53 @@ pub fn execute(
             assert!(count >= 1 && index < count, "invalid shard {index} of {count}");
             run_shard(ctx, experiment, specs, Shard { count, index }, false, fold)
         }
+        SweepMode::Plan => {
+            PLAN_SINK.with(|sink| {
+                let mut sink = sink.borrow_mut();
+                let sink = sink
+                    .as_mut()
+                    .expect("SweepMode::Plan requires running inside engine::collect_plan");
+                sink.extend(specs.iter().cloned());
+            });
+            // Report as a pseudo-shard so figures take their existing
+            // journal-only early return and render nothing.
+            ExecReport {
+                folded: false,
+                cells_run: 0,
+                cells_resumed: 0,
+                cells_failed: 0,
+                journal: None,
+                shard: Some((0, 1)),
+            }
+        }
     }
+}
+
+/// Indexes a journal's completed entries by `(sweep position,
+/// canonical cell index under the current plan)`. The stored `cell`
+/// field encodes the *writing* run's rep count; the index is
+/// re-derived from the record's own coordinates so journals from
+/// other `--reps` splits of the same grid resume correctly. Entries
+/// whose rep lies beyond the current plan are counted into `dropped`
+/// rather than kept (they belong to a larger split). Panics when an
+/// entry's grid fingerprint doesn't match — a different profile.
+fn index_resumable(
+    entries: Vec<JournalEntry>,
+    specs: &[SweepSpec],
+    dropped: &mut usize,
+) -> HashMap<(usize, usize), RunRecord> {
+    let mut resumed = HashMap::new();
+    for entry in entries {
+        let Some(si) = specs.iter().position(|s| s.label == entry.sweep) else { continue };
+        validate_fingerprint(&specs[si], entry.grid, entry.cell);
+        match specs[si].index_of_record(&entry.record) {
+            Some(index) => {
+                resumed.insert((si, index), entry.record);
+            }
+            None => *dropped += 1,
+        }
+    }
+    resumed
 }
 
 fn run_shard(
@@ -196,6 +277,7 @@ fn run_shard(
     do_fold: bool,
     fold: &mut (dyn FnMut(usize, CellId, &RunRecord) + Send),
 ) -> ExecReport {
+    let fault: Option<Arc<FaultPlan>> = fault::env_plan();
     let path = ctx.journal_dir.as_ref().map(|dir| {
         if shard.count == 1 {
             journal::journal_path(dir, experiment)
@@ -203,23 +285,30 @@ fn run_shard(
             journal::shard_journal_path(dir, experiment, shard.index, shard.count)
         }
     });
-    // Resume: index every journaled record by (sweep, cell).
-    let mut resumed: HashMap<(usize, usize), RunRecord> = HashMap::new();
-    if let Some(path) = path.as_ref() {
-        for entry in journal::read(path).expect("reading the resume journal") {
-            if let Some(si) = specs.iter().position(|s| s.label == entry.sweep) {
-                if entry.cell < specs[si].cell_count() {
-                    let cell = specs[si].cell(entry.cell);
-                    validate_entry(&specs[si], cell, &entry);
-                    resumed.insert((si, entry.cell), entry.record);
-                }
-            }
-        }
+    // Resume: index every journaled record by (sweep, cell) — the
+    // cell index re-derived under the current plan's grid.
+    let mut dropped = 0usize;
+    let mut resumed: HashMap<(usize, usize), RunRecord> = match path.as_ref() {
+        Some(path) => index_resumable(
+            journal::read(path).expect("reading the resume journal"),
+            specs,
+            &mut dropped,
+        ),
+        None => HashMap::new(),
+    };
+    if dropped > 0 {
+        eprintln!(
+            "[resume] {experiment}: dropped {dropped} journaled cells whose rep lies beyond \
+             the current --reps (they belong to a larger split of this grid)"
+        );
     }
     // Even an empty shard must leave a journal behind, or `merge`
     // could not tell "ran, owned nothing" from "never ran".
-    let mut writer = path.as_ref().map(|p| JournalWriter::append(p).expect("opening journal"));
+    let mut writer = path
+        .as_ref()
+        .map(|p| JournalWriter::append(p).expect("opening journal").with_fault(fault.clone()));
     let (mut cells_run, mut cells_resumed) = (0usize, 0usize);
+    let failures: Mutex<Vec<(String, usize, String)>> = Mutex::new(Vec::new());
     for (si, spec) in specs.iter().enumerate() {
         // This spec's resumed records: skipped by the engine and (in
         // fold mode) preloaded into the reorder buffer so the fold
@@ -239,6 +328,7 @@ fn run_shard(
             pending: if do_fold { preload } else { BTreeMap::new() },
             next: 0,
             ran: 0,
+            failed: 0,
             fold: &mut *fold,
         });
         if do_fold {
@@ -252,42 +342,68 @@ fn run_shard(
             ctx.warm_start,
             shard,
             &|index| skip[index],
-            &|cell, result| {
-                let record = RunRecord::new(
-                    spec.class(),
-                    spec.n,
-                    spec.alphas[cell.ai],
-                    spec.ks[cell.ki],
-                    cell.rep,
-                    &result,
-                );
-                let mut s = sink.lock();
-                s.ran += 1;
-                if let Some(w) = s.writer.as_mut() {
-                    w.push(&JournalEntry {
-                        sweep: spec.label.clone(),
-                        cell: cell.index,
-                        grid,
-                        record: record.clone(),
-                    })
-                    .expect("appending to the run journal");
+            &|cell, outcome| match outcome {
+                CellOutcome::Done(result) => {
+                    let record = RunRecord::new(
+                        spec.class(),
+                        spec.n,
+                        spec.alphas[cell.ai],
+                        spec.ks[cell.ki],
+                        cell.rep,
+                        &result,
+                    );
+                    if let Some(f) = fault.as_ref() {
+                        if f.should_die_before_result() {
+                            f.abort("before journaling a cell result");
+                        }
+                    }
+                    let mut s = sink.lock();
+                    s.ran += 1;
+                    if let Some(w) = s.writer.as_mut() {
+                        w.push(&JournalEntry {
+                            sweep: spec.label.clone(),
+                            cell: cell.index,
+                            grid,
+                            record: record.clone(),
+                        })
+                        .expect("appending to the run journal");
+                    }
+                    if do_fold {
+                        s.pending.insert(cell.index, record);
+                        s.drain(si, spec);
+                    }
                 }
-                if do_fold {
-                    s.pending.insert(cell.index, record);
-                    s.drain(si, spec);
+                CellOutcome::Failed(message) => {
+                    let mut s = sink.lock();
+                    s.failed += 1;
+                    if let Some(w) = s.writer.as_mut() {
+                        w.push_failed(&CellFailed {
+                            sweep: spec.label.clone(),
+                            cell: cell.index,
+                            grid,
+                            failed: message.clone(),
+                        })
+                        .expect("appending a cell failure to the run journal");
+                    }
+                    failures.lock().push((spec.label.clone(), cell.index, message));
                 }
             },
             None,
+            fault.as_deref(),
         );
         let mut s = sink.into_inner();
         if do_fold {
             s.drain(si, spec);
-            assert_eq!(
-                s.next,
-                spec.cell_count(),
-                "sweep '{}' must fold every cell exactly once",
-                spec.label
-            );
+            // With failed cells the canonical stream has holes; the
+            // summary panic below replaces table rendering entirely.
+            if s.failed == 0 {
+                assert_eq!(
+                    s.next,
+                    spec.cell_count(),
+                    "sweep '{}' must fold every cell exactly once",
+                    spec.label
+                );
+            }
         }
         cells_run += s.ran;
         writer = s.writer.take();
@@ -296,10 +412,24 @@ fn run_shard(
     if let Some(path) = path.as_ref() {
         journal::compact(path, specs).expect("compacting the run journal");
     }
+    let failures = failures.into_inner();
+    if !failures.is_empty() {
+        let listing: Vec<String> = failures
+            .iter()
+            .map(|(sweep, cell, message)| format!("'{sweep}' cell {cell}: {message}"))
+            .collect();
+        panic!(
+            "{experiment}: {} cell(s) failed with panics — {}; completed cells are journaled, \
+             so re-running retries only the failed ones",
+            failures.len(),
+            listing.join("; ")
+        );
+    }
     ExecReport {
         folded: do_fold,
         cells_run,
         cells_resumed,
+        cells_failed: 0,
         journal: path,
         shard: (shard.count > 1).then_some((shard.index, shard.count)),
     }
@@ -314,7 +444,15 @@ fn merge(
 ) -> ExecReport {
     assert!(count >= 1, "merge needs at least one shard");
     let dir = ctx.journal_dir.as_ref().expect("merge mode requires a results directory");
-    let mut entries: Vec<JournalEntry> = Vec::new();
+    // The union of every shard's cells, keyed by (sweep position,
+    // canonical index under the *merge target's* grid) — re-derived
+    // from each record's own coordinates, so shards run under
+    // different --reps splits of one grid land in one keyspace.
+    // First occurrence wins: later duplicates (a retried cell, an
+    // overlapping split) are dropped, and determinism of the solve
+    // guarantees they'd carry identical bytes anyway.
+    let mut union: BTreeMap<(usize, usize), JournalEntry> = BTreeMap::new();
+    let mut dropped = 0usize;
     for index in 0..count {
         let path = journal::shard_journal_path(dir, experiment, index, count);
         assert!(
@@ -322,48 +460,39 @@ fn merge(
             "missing shard journal {}; run `{experiment} --shards {count} --shard {index}` first",
             path.display()
         );
-        entries.extend(journal::read(&path).expect("reading shard journal"));
+        for mut entry in journal::read(&path).expect("reading shard journal") {
+            let Some(si) = specs.iter().position(|s| s.label == entry.sweep) else { continue };
+            validate_fingerprint(&specs[si], entry.grid, entry.cell);
+            let Some(cell) = specs[si].index_of_record(&entry.record) else {
+                dropped += 1;
+                continue;
+            };
+            entry.cell = cell;
+            union.entry((si, cell)).or_insert(entry);
+        }
     }
-    // Canonical order: position in the plan, then cell index. The
-    // position map is computed once — plans are small, but journals
-    // can be 36 000 entries, so the sort key must not rescan specs.
-    let positions: HashMap<&str, usize> =
-        specs.iter().enumerate().map(|(i, s)| (s.label.as_str(), i)).collect();
-    entries.retain(|e| positions.contains_key(e.sweep.as_str()));
-    entries.sort_by_key(|e| (positions[e.sweep.as_str()], e.cell));
-    entries.dedup_by(|a, b| a.sweep == b.sweep && a.cell == b.cell);
-    // Completeness + validity, then fold in canonical order.
-    let mut cursor = 0usize;
+    if dropped > 0 {
+        eprintln!(
+            "[merge] {experiment}: dropped {dropped} journaled cells whose rep lies beyond \
+             the merge target's --reps (they belong to a larger split of this grid)"
+        );
+    }
+    // Completeness over the union, then fold in canonical order.
+    let mut entries: Vec<JournalEntry> = Vec::with_capacity(union.len());
     for (si, spec) in specs.iter().enumerate() {
         for index in 0..spec.cell_count() {
-            let entry = entries.get(cursor).unwrap_or_else(|| {
+            let entry = union.remove(&(si, index)).unwrap_or_else(|| {
                 panic!(
                     "shard journals are incomplete: sweep '{}' is missing cell {index} \
                      (did every shard finish?)",
                     spec.label
                 )
             });
-            assert!(
-                entry.sweep == spec.label && entry.cell == index,
-                "shard journals are incomplete: sweep '{}' is missing cell {index} \
-                 (found '{}' cell {}; did every shard finish?)",
-                spec.label,
-                entry.sweep,
-                entry.cell
-            );
-            let cell = spec.cell(index);
-            validate_entry(spec, cell, entry);
-            fold(si, cell, &entry.record);
-            cursor += 1;
+            fold(si, spec.cell(index), &entry.record);
+            entries.push(entry);
         }
     }
-    assert_eq!(
-        cursor,
-        entries.len(),
-        "shard journals contain {} entries beyond the current plan's grid \
-         (stale cells from a different profile?); delete them and re-run the shards",
-        entries.len() - cursor
-    );
+    debug_assert!(union.is_empty(), "index_of_record bounds every key to the grid");
     let merged_path = journal::journal_path(dir, experiment);
     std::fs::create_dir_all(dir).expect("creating the results directory");
     std::fs::write(&merged_path, journal::render(&entries)).expect("writing the merged journal");
@@ -371,6 +500,7 @@ fn merge(
         folded: true,
         cells_run: 0,
         cells_resumed: entries.len(),
+        cells_failed: 0,
         journal: Some(merged_path),
         shard: None,
     }

@@ -4,9 +4,11 @@
 //! Every finished cell becomes one [`JournalEntry`] line —
 //! `{"sweep": <label>, "cell": <canonical index>, "record": {…}}` —
 //! appended (and flushed) the moment the cell completes, so a killed
-//! run loses at most the cells still in flight. On restart, entries
-//! already present are *not* re-run: the engine replays them into the
-//! fold and only computes the missing cells.
+//! run loses at most the cells still in flight. A cell whose solve
+//! *panicked* becomes a [`CellFailed`] line instead (cell id + panic
+//! payload), so a poisoned cell is a recorded fact, not a lost sweep.
+//! On restart, entries already present are *not* re-run: the engine
+//! replays them into the fold and only computes the missing cells.
 //!
 //! File layout under the results directory:
 //!
@@ -14,19 +16,32 @@
 //!   single-process run, and the output of `merge`;
 //! * `<experiment>_runs.shard<i>of<M>.jsonl` — shard `i`'s journal.
 //!
+//! Crash safety: a process killed mid-append leaves a torn half-line
+//! at the end of the file. [`JournalWriter::append`] *truncates* the
+//! file back to the last newline-terminated entry before appending
+//! (with a one-line warning), so the fragment can never glue onto a
+//! later entry and the journal stays parsable line-by-line forever.
+//!
 //! Canonical journals are sorted by `(sweep order, cell index)`;
 //! [`compact`] rewrites a journal into that order after a resumed run
 //! so the final artifact is byte-identical to an uninterrupted one.
 //! Byte-identity holds because serialisation is deterministic (struct
 //! field order, shortest round-trip float formatting), so
-//! parse → re-serialise is the identity on journal lines.
+//! parse → re-serialise is the identity on journal lines. Because the
+//! grid fingerprint excludes the rep count, compaction *re-derives*
+//! each entry's canonical index from the record's own `(α, k, rep)`
+//! under the current plan — which is what makes journals written
+//! under different `--reps` splits of one grid merge byte-identically.
 
+use std::collections::HashSet;
 use std::fs;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::sweep::{RunRecord, SweepSpec};
 
 /// One journal line: which sweep of the experiment, which canonical
@@ -39,10 +54,34 @@ pub struct JournalEntry {
     pub cell: usize,
     /// [`SweepSpec::fingerprint`] of the grid that produced the
     /// record — how resume and merge detect journals written under a
-    /// different seed, repetition count, workload, or `α`/`k` grid.
+    /// different seed, workload, or `α`/`k` grid.
     pub grid: u64,
     /// The run's streamed record.
     pub record: RunRecord,
+}
+
+/// A journaled cell *failure*: the solve panicked and `run_cells`
+/// caught it. Distinguished from [`JournalEntry`] on parse by its
+/// required `failed` field (entries require `record` instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailed {
+    /// The sweep's stable label within its experiment.
+    pub sweep: String,
+    /// Canonical linear cell index within that sweep.
+    pub cell: usize,
+    /// Grid fingerprint, as on [`JournalEntry`].
+    pub grid: u64,
+    /// The panic payload, rendered as a string.
+    pub failed: String,
+}
+
+/// One parsed journal line — a completed cell or a failed one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalLine {
+    /// A completed cell's entry.
+    Ok(JournalEntry),
+    /// A failed (panicked) cell's marker.
+    Failed(CellFailed),
 }
 
 /// Path of the canonical (single-process / merged) journal.
@@ -55,42 +94,88 @@ pub fn shard_journal_path(dir: &Path, experiment: &str, index: usize, count: usi
     dir.join(format!("{experiment}_runs.shard{index}of{count}.jsonl"))
 }
 
+/// Truncates a torn trailing half-line (no final newline — the mark
+/// of a process killed mid-write) back to the last newline-terminated
+/// entry, logging a one-line warning. A missing, empty, or cleanly
+/// terminated file is left untouched. Shared by the run journals and
+/// the coordinator's lease ledger.
+pub fn truncate_torn_tail(path: &Path) -> std::io::Result<()> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if bytes.is_empty() || bytes.last() == Some(&b'\n') {
+        return Ok(());
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep as u64)?;
+    eprintln!(
+        "[journal] {}: truncated a torn trailing line ({} bytes) left by an interrupted write",
+        path.display(),
+        bytes.len() - keep
+    );
+    Ok(())
+}
+
 /// An append-mode JSONL writer that flushes after every entry, so a
 /// crash loses only unfinished cells.
 #[derive(Debug)]
 pub struct JournalWriter {
     path: PathBuf,
     file: BufWriter<fs::File>,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl JournalWriter {
     /// Opens (creating parent directories and the file if needed) the
     /// journal at `path` for appending. If a previous run was killed
-    /// mid-write, the file may end in a torn half-line; it is
-    /// newline-terminated first so appended entries never glue onto
-    /// the fragment (the fragment itself is dropped as unparsable by
-    /// [`read`] and [`compact`]).
+    /// mid-write, the torn trailing half-line is truncated away first
+    /// (see [`truncate_torn_tail`]), so appended entries continue the
+    /// journal exactly where the last durable entry ended.
     pub fn append(path: &Path) -> std::io::Result<Self> {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let torn = matches!(fs::read(path), Ok(bytes) if !bytes.is_empty() && bytes.last() != Some(&b'\n'));
+        truncate_torn_tail(path)?;
         let file = fs::OpenOptions::new().create(true).append(true).open(path)?;
-        let mut writer = JournalWriter { path: path.to_path_buf(), file: BufWriter::new(file) };
-        if torn {
-            writer.file.write_all(b"\n")?;
-            writer.file.flush()?;
+        Ok(JournalWriter { path: path.to_path_buf(), file: BufWriter::new(file), fault: None })
+    }
+
+    /// Arms the `torn_write` fault: the plan's chosen append writes
+    /// only half its line, flushes, and aborts the process — the torn
+    /// state a crash-safe resume must recover from.
+    pub fn with_fault(mut self, fault: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        if let Some(fault) = self.fault.as_ref() {
+            if fault.should_tear_append() {
+                self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+                self.file.flush()?;
+                fault.abort("mid-append journal write");
+            }
         }
-        Ok(writer)
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
     }
 
     /// Appends one entry and flushes it to disk.
     pub fn push(&mut self, entry: &JournalEntry) -> std::io::Result<()> {
         let line = serde_json::to_string(entry)
             .map_err(|e| std::io::Error::other(format!("serialising journal entry: {e}")))?;
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.flush()
+        self.write_line(&line)
+    }
+
+    /// Appends one failed-cell marker and flushes it to disk.
+    pub fn push_failed(&mut self, failed: &CellFailed) -> std::io::Result<()> {
+        let line = serde_json::to_string(failed)
+            .map_err(|e| std::io::Error::other(format!("serialising cell failure: {e}")))?;
+        self.write_line(&line)
     }
 
     /// The journal's path.
@@ -99,17 +184,41 @@ impl JournalWriter {
     }
 }
 
-/// Reads a journal, returning its parsable entries in file order.
-/// A missing file reads as empty; unparsable lines (a line truncated
-/// by a kill, garbage) are skipped — the engine simply recomputes
-/// those cells.
+/// Reads a journal, returning its parsable *completed* entries in
+/// file order — the view resume and merge consume. A missing file
+/// reads as empty; failed-cell markers and unparsable lines (a line
+/// truncated by a kill, garbage) are skipped — the engine simply
+/// recomputes those cells.
 pub fn read(path: &Path) -> std::io::Result<Vec<JournalEntry>> {
+    Ok(read_lines(path)?
+        .into_iter()
+        .filter_map(|line| match line {
+            JournalLine::Ok(entry) => Some(entry),
+            JournalLine::Failed(_) => None,
+        })
+        .collect())
+}
+
+/// Reads a journal, returning every parsable line (completed and
+/// failed cells) in file order. Unparsable lines are skipped.
+pub fn read_lines(path: &Path) -> std::io::Result<Vec<JournalLine>> {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
-    Ok(text.lines().filter_map(|line| serde_json::from_str(line).ok()).collect())
+    // An entry line requires `record`, a failure line requires
+    // `failed`; each parse rejects the other, so trying both is an
+    // unambiguous dispatch.
+    Ok(text
+        .lines()
+        .filter_map(|line| {
+            serde_json::from_str(line)
+                .map(JournalLine::Ok)
+                .or_else(|_| serde_json::from_str(line).map(JournalLine::Failed))
+                .ok()
+        })
+        .collect())
 }
 
 /// Serialises entries to JSONL text (one line per entry).
@@ -124,25 +233,55 @@ pub fn render(entries: &[JournalEntry]) -> String {
 
 /// Rewrites the journal at `path` in canonical order against the
 /// current plan: entries sorted by `(position of sweep in specs,
-/// cell index)`, de-duplicated by `(sweep, cell)` keeping the first
-/// occurrence. Entries that no current spec accounts for — a stale
-/// sweep label, an out-of-range cell, or a mismatched grid
-/// fingerprint — are dropped, so a compacted journal only ever
-/// contains lines a fresh run of the same plan would write. The
-/// rewrite goes through a temp file + rename, so a crash cannot
-/// destroy the journal.
+/// cell index)`, de-duplicated by cell keeping the first occurrence.
+/// Each entry's canonical index is *re-derived* from its record's
+/// `(α, k, rep)` under the matching spec — the stored `cell` value
+/// encodes the writing run's rep count, which may differ — so
+/// journals from heterogeneous `--reps` splits compact into the same
+/// bytes a single run of the merged grid would write. Entries no
+/// current spec accounts for (stale sweep label, mismatched grid
+/// fingerprint, off-grid record, rep beyond the plan's reps) are
+/// dropped. Failed-cell markers survive only for cells that still
+/// lack a completed entry — a successful retry supersedes its
+/// failure. The rewrite goes through a temp file + rename, so a
+/// crash cannot destroy the journal.
 pub fn compact(path: &Path, specs: &[SweepSpec]) -> std::io::Result<()> {
-    let mut entries = read(path)?;
-    let order = |e: &JournalEntry| {
-        specs.iter().position(|s| {
-            s.label == e.sweep && e.cell < s.cell_count() && e.grid == s.fingerprint()
-        })
+    let spec_of = |sweep: &str, grid: u64| {
+        specs.iter().position(|s| s.label == sweep && grid == s.fingerprint())
     };
-    entries.retain(|e| order(e).is_some());
-    entries.sort_by_key(|e| (order(e).expect("retained above"), e.cell));
-    entries.dedup_by(|a, b| a.sweep == b.sweep && a.cell == b.cell);
+    let mut ok: Vec<(usize, JournalEntry)> = Vec::new();
+    let mut failed: Vec<(usize, CellFailed)> = Vec::new();
+    for line in read_lines(path)? {
+        match line {
+            JournalLine::Ok(mut entry) => {
+                let Some(pos) = spec_of(&entry.sweep, entry.grid) else { continue };
+                let Some(cell) = specs[pos].index_of_record(&entry.record) else { continue };
+                entry.cell = cell;
+                ok.push((pos, entry));
+            }
+            JournalLine::Failed(marker) => {
+                let Some(pos) = spec_of(&marker.sweep, marker.grid) else { continue };
+                if marker.cell < specs[pos].cell_count() {
+                    failed.push((pos, marker));
+                }
+            }
+        }
+    }
+    // Stable sorts keep the first-written occurrence ahead of its
+    // duplicates, so dedup implements first-result-wins.
+    ok.sort_by_key(|(pos, e)| (*pos, e.cell));
+    ok.dedup_by_key(|(pos, e)| (*pos, e.cell));
+    let done: HashSet<(usize, usize)> = ok.iter().map(|(pos, e)| (*pos, e.cell)).collect();
+    failed.retain(|(pos, f)| !done.contains(&(*pos, f.cell)));
+    failed.sort_by_key(|(pos, f)| (*pos, f.cell));
+    failed.dedup_by_key(|(pos, f)| (*pos, f.cell));
+    let mut out = render(&ok.into_iter().map(|(_, e)| e).collect::<Vec<_>>());
+    for (_, marker) in &failed {
+        out.push_str(&serde_json::to_string(marker).expect("failure markers always serialise"));
+        out.push('\n');
+    }
     let tmp = path.with_extension("jsonl.tmp");
-    fs::write(&tmp, render(&entries))?;
+    fs::write(&tmp, out)?;
     fs::rename(&tmp, path)
 }
 
@@ -221,6 +360,73 @@ mod tests {
     }
 
     #[test]
+    fn append_truncates_a_torn_tail_instead_of_writing_after_it() {
+        let dir = temp_path("torn_resume");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        let s = spec("main", 0.5, 2, 3);
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.push(&entry(&s, 0)).unwrap();
+        drop(w);
+        let clean = fs::read(&path).unwrap();
+        // Kill mid-record: half of entry 1's line survives on disk.
+        let full = serde_json::to_string(&entry(&s, 1)).unwrap();
+        let mut bytes = clean.clone();
+        bytes.extend_from_slice(&full.as_bytes()[..full.len() / 2]);
+        fs::write(&path, &bytes).unwrap();
+        // Reopening for append drops the fragment *before* writing.
+        let mut w = JournalWriter::append(&path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), clean, "torn tail must be truncated on reopen");
+        w.push(&entry(&s, 2)).unwrap();
+        drop(w);
+        assert_eq!(
+            read(&path).unwrap(),
+            vec![entry(&s, 0), entry(&s, 2)],
+            "the journal continues from the last durable entry"
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(!text.contains(&full[..full.len() / 2]), "no fragment bytes may survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_with_no_newline_at_all_truncates_to_empty() {
+        let dir = temp_path("torn_all");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir, "demo");
+        fs::write(&path, "{\"sweep\":\"main\",\"ce").unwrap();
+        truncate_torn_tail(&path).unwrap();
+        assert!(fs::read(&path).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_markers_parse_separately_and_read_skips_them() {
+        let dir = temp_path("failed");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        let s = spec("main", 0.5, 2, 2);
+        let ok = entry(&s, 0);
+        let marker = CellFailed {
+            sweep: "main".into(),
+            cell: 1,
+            grid: s.fingerprint(),
+            failed: "index out of bounds".into(),
+        };
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.push(&ok).unwrap();
+        w.push_failed(&marker).unwrap();
+        drop(w);
+        assert_eq!(
+            read_lines(&path).unwrap(),
+            vec![JournalLine::Ok(ok.clone()), JournalLine::Failed(marker.clone())]
+        );
+        assert_eq!(read(&path).unwrap(), vec![ok], "read() yields completed cells only");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn compact_sorts_dedups_and_round_trips_bytes() {
         let dir = temp_path("compact");
         let _ = fs::remove_dir_all(&dir);
@@ -230,12 +436,15 @@ mod tests {
         let specs = vec![a.clone(), b.clone()];
         let canonical = vec![entry(&a, 0), entry(&a, 1), entry(&b, 0)];
         // Write shuffled, with a duplicate, a stale-label entry, an
-        // out-of-range cell, and a wrong-fingerprint entry.
+        // out-of-range record, and a wrong-fingerprint entry.
         let mut w = JournalWriter::append(&path).unwrap();
         w.push(&canonical[2]).unwrap();
         w.push(&canonical[1]).unwrap();
         w.push(&JournalEntry { sweep: "stale".into(), ..canonical[0].clone() }).unwrap();
-        w.push(&JournalEntry { cell: 9, ..canonical[0].clone() }).unwrap();
+        let mut excess_rep = canonical[0].clone();
+        excess_rep.record.rep = 9;
+        excess_rep.cell = 9;
+        w.push(&excess_rep).unwrap();
         w.push(&JournalEntry { grid: 123, ..canonical[0].clone() }).unwrap();
         w.push(&canonical[0]).unwrap();
         w.push(&canonical[1]).unwrap();
@@ -249,13 +458,74 @@ mod tests {
     }
 
     #[test]
+    fn compact_reindexes_entries_from_a_different_reps_split() {
+        let dir = temp_path("reindex");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        // Two αs, one k: under reps=1 cell order is (α0 r0), (α1 r0);
+        // under reps=2 it is (α0 r0), (α0 r1), (α1 r0), (α1 r1).
+        let narrow = SweepSpec::tree("main", 10, 1, 7, vec![0.5, 2.0], vec![2], Objective::Max);
+        let wide = SweepSpec { reps: 2, ..narrow.clone() };
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.push(&entry(&narrow, 1)).unwrap(); // (α1, r0): wide index 2
+        drop(w);
+        compact(&path, std::slice::from_ref(&wide)).unwrap();
+        let got = read(&path).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].cell, 2, "cell index must be recomputed under the wide grid");
+        assert_eq!(got[0].record, entry(&narrow, 1).record, "record bytes unchanged");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_drops_failures_superseded_by_a_completed_retry() {
+        let dir = temp_path("supersede");
+        let _ = fs::remove_dir_all(&dir);
+        let path = journal_path(&dir, "demo");
+        let s = spec("main", 0.5, 2, 2);
+        let still_failed = CellFailed {
+            sweep: "main".into(),
+            cell: 1,
+            grid: s.fingerprint(),
+            failed: "boom".into(),
+        };
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.push_failed(&CellFailed { cell: 0, ..still_failed.clone() }).unwrap();
+        w.push_failed(&still_failed).unwrap();
+        w.push(&entry(&s, 0)).unwrap(); // cell 0's successful retry
+        drop(w);
+        compact(&path, std::slice::from_ref(&s)).unwrap();
+        assert_eq!(
+            read_lines(&path).unwrap(),
+            vec![JournalLine::Ok(entry(&s, 0)), JournalLine::Failed(still_failed)],
+            "a completed retry supersedes its failure marker; unresolved failures survive"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_tears_the_chosen_append() {
+        // The decision side of the torn_write fault: the writer must
+        // emit exactly half the line and flush. The abort() tail only
+        // runs in spawned binaries, so here we check the plan wiring
+        // up to the would-abort point via the counter.
+        let plan = FaultPlan::parse("torn_write:2").unwrap();
+        assert!(!plan.should_tear_append(), "append 1 is clean");
+        assert!(plan.should_tear_append(), "append 2 tears");
+    }
+
+    #[test]
     fn fingerprint_separates_profiles() {
         let base = spec("main", 0.5, 2, 3);
         assert_eq!(base.fingerprint(), spec("main", 0.5, 2, 3).fingerprint());
         let mut other = base.clone();
         other.seed ^= 1;
         assert_ne!(base.fingerprint(), other.fingerprint(), "seed must change the fingerprint");
-        assert_ne!(base.fingerprint(), spec("main", 0.5, 2, 2).fingerprint(), "reps");
+        assert_eq!(
+            base.fingerprint(),
+            spec("main", 0.5, 2, 2).fingerprint(),
+            "reps splits of one grid share a fingerprint (hetero-reps merge)"
+        );
         assert_ne!(base.fingerprint(), spec("main", 0.7, 2, 3).fingerprint(), "alpha grid");
         assert_ne!(base.fingerprint(), spec("main", 0.5, 3, 3).fingerprint(), "k grid");
         let mut er = base.clone();

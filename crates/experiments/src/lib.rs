@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 pub mod figure10;
 pub mod figure3;
 pub mod figure4;
@@ -62,6 +63,8 @@ pub mod lower_bounds;
 pub mod nonuniform;
 pub mod output;
 pub mod profile;
+pub mod protocol;
+pub mod queue;
 pub mod sum_extension;
 pub mod swap_ncg;
 pub mod sweep;
@@ -72,3 +75,46 @@ pub mod workloads;
 pub use engine::{ExecReport, MetricGrid, SweepContext, SweepMode};
 pub use output::ExperimentOutput;
 pub use profile::Profile;
+
+/// Runs one experiment by CLI name under the given context; `None`
+/// for an unknown name. This is the single dispatch the binary, the
+/// work-queue coordinator, and [`sweep_plan`] share.
+pub fn run_experiment(
+    name: &str,
+    profile: &Profile,
+    ctx: &SweepContext,
+) -> Option<ExperimentOutput> {
+    let out = match name {
+        "table1" => table1::run(profile),
+        "table2" => table2::run(profile),
+        "figures12" => figures12::run(profile),
+        "figure3" => figure3::run(profile),
+        "figure4" => figure4::run(profile),
+        "figure5" => figure5::run_ctx(profile, ctx),
+        "figure6" => figure6::run_ctx(profile, ctx),
+        "figure7" => figure7::run_ctx(profile, ctx),
+        "figure8" => figure8::run_ctx(profile, ctx),
+        "figure9" => figure9::run_ctx(profile, ctx),
+        "figure10" => figure10::run_ctx(profile, ctx),
+        "lower-bounds" => lower_bounds::run(profile),
+        "sum-extension" => sum_extension::run_ctx(profile, ctx),
+        "swap-ncg" => swap_ncg::run_ctx(profile, ctx),
+        "nonuniform" => nonuniform::run_ctx(profile, ctx),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// The sweep specs an experiment would run under `profile`, without
+/// running anything — the cell work-list the queue coordinator hands
+/// out and its workers solve. Empty for experiments that run no
+/// `(α, k, rep)` sweeps (tables, constructions). `None` for an
+/// unknown name.
+pub fn sweep_plan(name: &str, profile: &Profile) -> Option<Vec<sweep::SweepSpec>> {
+    let plan_ctx = SweepContext { mode: SweepMode::Plan, journal_dir: None, warm_start: true };
+    let mut known = false;
+    let specs = engine::collect_plan(|| {
+        known = run_experiment(name, profile, &plan_ctx).is_some();
+    });
+    known.then_some(specs)
+}

@@ -183,6 +183,25 @@ impl SweepSpec {
         cell_index(ai, ki, rep, self.ks.len(), self.reps)
     }
 
+    /// Recomputes the canonical index of a journaled record under
+    /// *this* spec's grid from the record's own coordinates.
+    ///
+    /// This is what lets journals written under a different `--reps`
+    /// of the same grid be resumed and merged: a stored `cell` index
+    /// encodes the writer's rep count, but `(α, k, rep)` plus this
+    /// spec pins the cell down unambiguously. Returns `None` when the
+    /// record doesn't belong to this grid at all — wrong class or
+    /// `n`, an `α`/`k` not on the grid, or a rep at or beyond this
+    /// spec's `reps` (a valid cell of a *larger* split, dropped here).
+    pub fn index_of_record(&self, record: &RunRecord) -> Option<usize> {
+        if record.class != self.class() || record.n != self.n || record.rep >= self.reps {
+            return None;
+        }
+        let ai = self.alphas.iter().position(|&a| a == record.alpha)?;
+        let ki = self.ks.iter().position(|&k| k == record.k)?;
+        Some(self.index_of(ai, ki, record.rep))
+    }
+
     /// Samples the sweep's initial states (one per rep, seeded
     /// per-instance — reproducible in isolation).
     pub fn states(&self) -> Vec<GameState> {
@@ -193,11 +212,18 @@ impl SweepSpec {
     }
 
     /// A fingerprint of everything that determines this sweep's cell
-    /// contents — workload family (and `p`), `n`, reps, seed, and the
+    /// contents — workload family (and `p`), `n`, seed, and the
     /// `α`/`k` grids. Stamped on every journal line and checked on
     /// resume and merge, so a journal written under a different
-    /// `--seed`, `--reps`, or grid can never be silently reused (the
-    /// record's own `(α, k, rep, n, class)` cannot carry the seed).
+    /// `--seed` or grid can never be silently reused (the record's own
+    /// `(α, k, rep, n, class)` cannot carry the seed).
+    ///
+    /// `reps` is deliberately *not* mixed in: per-rep instance seeds
+    /// derive from `(seed, class, n, rep)` alone, so a cell's contents
+    /// don't depend on how many reps the run around it asked for.
+    /// Journals written under different `--reps` of the same grid are
+    /// therefore mergeable — the union's completeness is checked
+    /// against the merge target's rep count instead.
     pub fn fingerprint(&self) -> u64 {
         fn mix(h: u64, x: u64) -> u64 {
             // SplitMix64 over a running state: order-sensitive, cheap.
@@ -211,7 +237,6 @@ impl SweepSpec {
             Workload::Er(p) => mix(2, p.to_bits()),
         };
         h = mix(h, self.n as u64);
-        h = mix(h, self.reps as u64);
         h = mix(h, self.seed);
         h = mix(h, self.objective as u64);
         for &alpha in &self.alphas {
@@ -268,6 +293,58 @@ impl Shard {
     }
 }
 
+/// How one cell of a sweep ended: the normal result, or the panic
+/// payload of a solve that blew up (caught by [`solve_cell_guarded`],
+/// journaled as a structured `CellFailed` entry downstream).
+#[derive(Debug)]
+pub enum CellOutcome {
+    /// The dynamics ran to an outcome (boxed: a `RunResult` is large
+    /// next to the failure string, and clippy rightly objects).
+    Done(Box<RunResult>),
+    /// The solve panicked; the payload rendered as a string.
+    Failed(String),
+}
+
+/// Solves one cell with panic isolation: a panic anywhere inside the
+/// dynamics (or injected via `inject_panic`, the `panic_cell` fault)
+/// is caught, the cell's [`CacheArena`] is rebuilt — its dirty
+/// tracking and solver scratch may have been left mid-update, so the
+/// warm-start soundness argument no longer covers them — and the
+/// panic payload comes back as `Err(message)`. The *next* cell on the
+/// same arena is then observationally a cold run, which the dynamics
+/// crate property-tests to be bit-identical to a warm one.
+pub fn solve_cell_guarded(
+    state: &GameState,
+    scenario: Scenario,
+    alpha: f64,
+    k: u32,
+    warm_start: bool,
+    arena: &mut CacheArena,
+    inject_panic: bool,
+) -> Result<RunResult, String> {
+    let config = DynamicsConfig::new(scenario.spec(alpha, k));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected fault: panic_cell");
+        }
+        if warm_start {
+            run_with_cache(state.clone(), &config, arena)
+        } else {
+            run(state.clone(), &config)
+        }
+    }));
+    outcome.map_err(|payload| {
+        arena.rebuild();
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
 /// Runs this shard's cells of one grid, warm-starting per repetition,
 /// streaming each finished cell to `sink`. Cells for which
 /// `skip(index)` returns `true` (already journaled, on resume) are
@@ -276,6 +353,11 @@ impl Shard {
 /// re-established downstream (see `crate::engine`). `progress`, if
 /// given, is called after each finished cell with `(done, total)`
 /// where `total` counts this shard's non-skipped cells.
+///
+/// Each solve runs under [`solve_cell_guarded`]: a panicking cell
+/// reaches the sink as [`CellOutcome::Failed`] and the sweep carries
+/// on with a rebuilt arena. `fault`, if given, can additionally force
+/// a specific canonical cell to panic (`panic_cell:N`).
 #[allow(clippy::too_many_arguments)] // the engine's one low-level entry point
 pub fn run_cells(
     states: &[GameState],
@@ -285,8 +367,9 @@ pub fn run_cells(
     warm_start: bool,
     shard: Shard,
     skip: &(dyn Fn(usize) -> bool + Sync),
-    sink: &(dyn Fn(CellId, RunResult) + Sync),
+    sink: &(dyn Fn(CellId, CellOutcome) + Sync),
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    fault: Option<&crate::fault::FaultPlan>,
 ) {
     let scenario = scenario.into();
     assert!(shard.count >= 1 && shard.index < shard.count, "invalid shard {shard:?}");
@@ -315,13 +398,20 @@ pub fn run_cells(
                     if skip(index) {
                         continue;
                     }
-                    let config = DynamicsConfig::new(scenario.spec(alpha, k));
-                    let result = if warm_start {
-                        run_with_cache(states[rep].clone(), &config, &mut arena)
-                    } else {
-                        run(states[rep].clone(), &config)
+                    let inject = fault.is_some_and(|f| f.panics_at_cell(index));
+                    let outcome = match solve_cell_guarded(
+                        &states[rep],
+                        scenario,
+                        alpha,
+                        k,
+                        warm_start,
+                        &mut arena,
+                        inject,
+                    ) {
+                        Ok(result) => CellOutcome::Done(Box::new(result)),
+                        Err(message) => CellOutcome::Failed(message),
                     };
-                    sink(CellId { index, ai, ki, rep }, result);
+                    sink(CellId { index, ai, ki, rep }, outcome);
                     if let Some(cb) = progress {
                         cb(done.fetch_add(1, Ordering::Relaxed) + 1, total);
                     }
@@ -449,11 +539,18 @@ pub fn sweep(
         true,
         Shard::all(),
         &|_| false,
-        &|cell, result| {
+        &|cell, outcome| {
+            let result = match outcome {
+                CellOutcome::Done(result) => *result,
+                CellOutcome::Failed(message) => {
+                    panic!("cell {} failed: {message}", cell.index)
+                }
+            };
             let item = CellResult { alpha: alphas[cell.ai], k: ks[cell.ki], rep: cell.rep, result };
             collected.lock().push((cell.index, item));
         },
         progress,
+        None,
     );
     let mut results = collected.into_inner();
     results.sort_by_key(|(index, _)| *index);
@@ -585,6 +682,7 @@ mod tests {
                 &|_| false,
                 &|cell, _| seen.lock().push(cell.index),
                 None,
+                None,
             );
         }
         let mut seen = seen.into_inner();
@@ -607,6 +705,7 @@ mod tests {
             &|index| index % 2 == 0,
             &|cell, _| ran.lock().push(cell.index),
             Some(&|_, total| totals.lock().push(total)),
+            None,
         );
         let mut ran = ran.into_inner();
         ran.sort_unstable();
@@ -654,6 +753,132 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_ignores_reps_but_nothing_else() {
+        let base =
+            SweepSpec::tree("t", 10, 3, 7, vec![0.5, 1.0, 2.0, 4.0], vec![2, 3], Objective::Max);
+        let mut more_reps = base.clone();
+        more_reps.reps = 12;
+        assert_eq!(
+            base.fingerprint(),
+            more_reps.fingerprint(),
+            "reps splits of one grid must share a fingerprint (hetero-reps merge)"
+        );
+        let mut other_seed = base.clone();
+        other_seed.seed = 8;
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        let mut other_grid = base.clone();
+        other_grid.ks.push(4);
+        assert_ne!(base.fingerprint(), other_grid.fingerprint());
+    }
+
+    #[test]
+    fn index_of_record_reindexes_across_reps_splits() {
+        let writer =
+            SweepSpec::tree("t", 10, 2, 7, vec![0.5, 1.0, 2.0, 4.0], vec![2, 3], Objective::Max);
+        let reader = SweepSpec { reps: 5, ..writer.clone() };
+        let record = |alpha: f64, k: u32, rep: usize| RunRecord {
+            class: "tree".into(),
+            n: 10,
+            alpha,
+            k,
+            rep,
+            converged: true,
+            capped: false,
+            rounds: 1,
+            moves: 1,
+            diameter: Some(2),
+            quality: Some(1.0),
+            max_degree: 2,
+            max_bought: 1,
+            min_view: 3,
+            avg_view: 3.0,
+            unfairness: Some(1.0),
+        };
+        // Every writer cell lands at the reader's index for the same
+        // (α, k, rep), which differs from the writer's stored index.
+        for index in 0..writer.cell_count() {
+            let cell = writer.cell(index);
+            let rec = record(writer.alphas[cell.ai], writer.ks[cell.ki], cell.rep);
+            assert_eq!(
+                writer.index_of_record(&rec),
+                Some(index),
+                "round-trip under the writer's own grid"
+            );
+            assert_eq!(
+                reader.index_of_record(&rec),
+                Some(reader.index_of(cell.ai, cell.ki, cell.rep)),
+                "reindex under a larger reps split"
+            );
+        }
+        // Records outside the grid are rejected, not mis-filed.
+        assert_eq!(reader.index_of_record(&record(0.75, 2, 0)), None, "off-grid α");
+        assert_eq!(reader.index_of_record(&record(0.5, 9, 0)), None, "off-grid k");
+        assert_eq!(reader.index_of_record(&record(0.5, 2, 5)), None, "rep beyond reps");
+        let mut er = record(0.5, 2, 0);
+        er.class = "er".into();
+        assert_eq!(reader.index_of_record(&er), None, "wrong workload class");
+        let mut other_n = record(0.5, 2, 0);
+        other_n.n = 11;
+        assert_eq!(reader.index_of_record(&other_n), None, "wrong n");
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone_and_the_rest_match_a_clean_run() {
+        use crate::fault::FaultPlan;
+        let states = workloads::tree_states(14, 2, 11);
+        let alphas = [0.5, 2.0];
+        let ks = [2u32, 1000];
+        let collect = |fault: Option<&FaultPlan>| {
+            let got: Mutex<Vec<(usize, Result<RunRecord, String>)>> = Mutex::new(Vec::new());
+            run_cells(
+                &states,
+                &alphas,
+                &ks,
+                Objective::Max,
+                true,
+                Shard::all(),
+                &|_| false,
+                &|cell, outcome| {
+                    let entry = match outcome {
+                        CellOutcome::Done(result) => Ok(RunRecord::new(
+                            "tree",
+                            14,
+                            alphas[cell.ai],
+                            ks[cell.ki],
+                            cell.rep,
+                            &result,
+                        )),
+                        CellOutcome::Failed(message) => Err(message),
+                    };
+                    got.lock().push((cell.index, entry));
+                },
+                None,
+                fault,
+            );
+            let mut got = got.into_inner();
+            got.sort_by_key(|(i, _)| *i);
+            got
+        };
+        let clean = collect(None);
+        // Cell 2 is mid-rep-0's warm-start column: rep 0 runs cells
+        // 0, 2, 4, 6, so the arena is warm before and rebuilt after.
+        let faulty = collect(Some(&FaultPlan::parse("panic_cell:2").unwrap()));
+        assert_eq!(faulty.len(), clean.len(), "every cell still reports");
+        for ((ci, c), (fi, f)) in clean.iter().zip(&faulty) {
+            assert_eq!(ci, fi);
+            if *ci == 2 {
+                let message = f.as_ref().unwrap_err();
+                assert!(
+                    message.contains("injected fault: panic_cell"),
+                    "failed cell must carry the panic payload, got {message:?}"
+                );
+            } else {
+                assert_eq!(c, f, "cells other than the panicking one are bit-identical");
+            }
+        }
+    }
+
+    #[test]
     fn warm_and_cold_sweeps_agree_bitwise() {
         // The warm-start acceptance criterion at the engine level:
         // per-cell outcomes identical with arenas on and off.
@@ -670,11 +895,15 @@ mod tests {
                 warm,
                 Shard::all(),
                 &|_| false,
-                &|cell, result| {
+                &|cell, outcome| {
+                    let CellOutcome::Done(result) = outcome else {
+                        panic!("unexpected cell failure")
+                    };
                     let rec =
                         RunRecord::new("tree", 16, alphas[cell.ai], ks[cell.ki], cell.rep, &result);
                     got.lock().push((cell.index, rec));
                 },
+                None,
                 None,
             );
             let mut got = got.into_inner();

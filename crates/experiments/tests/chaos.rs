@@ -1,0 +1,161 @@
+//! End-to-end fault-injection test of the work-queue orchestration:
+//! a real coordinator process, one worker that is killed by an
+//! injected fault mid-sweep (`NCG_FAULT=kill_after_cells:1` aborts it
+//! after solving its first cell, before the result is reported), and
+//! one clean worker that finishes the sweep. The artifacts must be
+//! byte-identical to a single-process `--cold` run — crashes, lease
+//! re-issue, and retries must leave no trace. The CI `chaos` job runs
+//! the same scenario against the release binary with both workers
+//! live; this in-tree test keeps it reproducible under `cargo test`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ncg_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn binary() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ncg-experiments"));
+    // Keep the tiny smoke grids single-threaded: three concurrent
+    // processes on a CI box should not oversubscribe it.
+    cmd.env("NCG_THREADS", "1");
+    cmd
+}
+
+const PROFILE_ARGS: &[&str] = &["--smoke", "--seed", "7", "--reps", "2"];
+
+/// Waits for a child with a deadline; kills and panics on timeout.
+fn wait_with_deadline(
+    child: &mut Child,
+    name: &str,
+    deadline: Duration,
+) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        if start.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("{name} did not finish within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Files that legitimately differ between a distributed and a local
+/// run: the lease ledger and the port file are orchestration
+/// artifacts, not results.
+fn is_orchestration_artifact(name: &str) -> bool {
+    name.ends_with("_leases.log") || name == "port"
+}
+
+#[test]
+fn killed_worker_mid_sweep_still_yields_byte_identical_artifacts() {
+    // Reference: single-process run, cold (warm starts are
+    // bit-identical, so this also cross-checks the workers' warm
+    // arenas against cold solves).
+    let ref_dir = temp_dir("reference");
+    let output = binary()
+        .args(["figure5"])
+        .args(PROFILE_ARGS)
+        .args(["--cold", "--out"])
+        .arg(&ref_dir)
+        .output()
+        .expect("spawning the reference run");
+    assert!(
+        output.status.success(),
+        "reference run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Distributed run: coordinator + a doomed worker + a clean one.
+    let dist_dir = temp_dir("distributed");
+    let port_file = dist_dir.join("port");
+    let mut serve = binary()
+        .args(["serve", "figure5"])
+        .args(PROFILE_ARGS)
+        .args(["--listen", "127.0.0.1:0", "--lease-timeout", "2", "--port-file"])
+        .arg(&port_file)
+        .arg("--out")
+        .arg(&dist_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning the coordinator");
+
+    // The doomed worker goes first, alone, so it deterministically
+    // leases a cell: the fault aborts the process after its first
+    // solve, *before* the result is reported — the crash the lease
+    // queue exists to survive.
+    let mut doomed = binary()
+        .args(["work", "figure5"])
+        .args(PROFILE_ARGS)
+        .args(["--worker-id", "chaos-doomed", "--port-file"])
+        .arg(&port_file)
+        .env("NCG_FAULT", "kill_after_cells:1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning the doomed worker");
+    let doomed_status = wait_with_deadline(&mut doomed, "doomed worker", Duration::from_secs(120));
+    assert!(!doomed_status.success(), "the injected fault must abort the worker");
+
+    let mut clean = binary()
+        .args(["work", "figure5"])
+        .args(PROFILE_ARGS)
+        .args(["--worker-id", "chaos-clean", "--port-file"])
+        .arg(&port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning the clean worker");
+
+    let clean_status = wait_with_deadline(&mut clean, "clean worker", Duration::from_secs(300));
+    assert!(clean_status.success(), "the clean worker must finish the sweep");
+    let serve_status = wait_with_deadline(&mut serve, "coordinator", Duration::from_secs(300));
+    let mut serve_stderr = String::new();
+    if let Some(mut err) = serve.stderr.take() {
+        use std::io::Read as _;
+        let _ = err.read_to_string(&mut serve_stderr);
+    }
+    assert!(serve_status.success(), "coordinator failed; stderr:\n{serve_stderr}");
+    // The crash must have been noticed and the cell re-issued, not
+    // silently absorbed by a lucky schedule.
+    assert!(
+        std::fs::read_to_string(dist_dir.join("figure5_leases.log"))
+            .expect("lease ledger exists")
+            .contains("release"),
+        "the doomed worker's death should release its lease"
+    );
+
+    // Byte-diff every artifact the two runs produced.
+    let names = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| !is_orchestration_artifact(n))
+            .collect();
+        names.sort();
+        names
+    };
+    let ref_names = names(&ref_dir);
+    assert!(
+        ref_names.iter().any(|n| n.ends_with(".csv")),
+        "reference run produced no tables: {ref_names:?}"
+    );
+    assert_eq!(ref_names, names(&dist_dir), "artifact sets differ");
+    for name in &ref_names {
+        let a = std::fs::read(ref_dir.join(name)).unwrap();
+        let b = std::fs::read(dist_dir.join(name)).unwrap();
+        assert_eq!(a, b, "artifact {name} differs between local and distributed runs");
+    }
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dist_dir);
+}

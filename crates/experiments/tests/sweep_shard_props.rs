@@ -139,6 +139,65 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite of the work-queue PR: shard journals written under
+    /// *different* `--reps` splits of the same grid merge cleanly, as
+    /// long as their union covers the merge's repetition count. The
+    /// grid fingerprint deliberately excludes `reps` (per-rep
+    /// instance seeds derive from the base seed alone), and merge
+    /// re-derives every record's canonical index under the merge
+    /// plan, dropping excess repetitions with a warning.
+    #[test]
+    fn merge_accepts_heterogeneous_reps_splits(
+        reps in 1..=3usize,
+        extra_a in 0..=2usize,
+        extra_b in 0..=2usize,
+    ) {
+        let spec_with = |r: usize| {
+            vec![SweepSpec::tree("main", 9, r, 21, vec![0.5, 2.0], vec![2], Objective::Max)]
+        };
+        // Reference: a single-process run at the merge's reps.
+        let dir_local = temp_dir("hetero_local");
+        let local_ctx = SweepContext {
+            mode: SweepMode::Local,
+            journal_dir: Some(dir_local.clone()),
+            warm_start: true,
+        };
+        let (local_fold, _) = capture(&local_ctx, "hr", &spec_with(reps));
+
+        // Each shard ran under its own (larger or equal) reps count —
+        // e.g. one machine pre-computed more repetitions than the
+        // other — so the two shard journals disagree about the grid's
+        // repetition axis.
+        let dir = temp_dir("hetero_shards");
+        for (index, shard_reps) in [(0usize, reps + extra_a), (1usize, reps + extra_b)] {
+            let ctx = SweepContext {
+                mode: SweepMode::Shard { count: 2, index },
+                journal_dir: Some(dir.clone()),
+                warm_start: true,
+            };
+            capture(&ctx, "hr", &spec_with(shard_reps));
+        }
+        let merge_ctx = SweepContext {
+            mode: SweepMode::Merge { count: 2 },
+            journal_dir: Some(dir.clone()),
+            warm_start: true,
+        };
+        let (merge_fold, merge_report) = capture(&merge_ctx, "hr", &spec_with(reps));
+        prop_assert!(merge_report.folded);
+        prop_assert_eq!(&local_fold, &merge_fold, "heterogeneous-reps merge fold diverged");
+        prop_assert_eq!(
+            fs::read(journal::journal_path(&dir_local, "hr")).unwrap(),
+            fs::read(journal::journal_path(&dir, "hr")).unwrap(),
+            "heterogeneous-reps merged journal bytes diverged"
+        );
+        let _ = fs::remove_dir_all(&dir_local);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn killed_run_resumes_to_identical_artifacts() {
     // One ~12-cell grid; reference run in dirA, killed + resumed run
