@@ -79,7 +79,28 @@ impl PlayerView {
     /// [`PlayerView::build`] with caller-provided scratch, for hot
     /// loops that build many views.
     pub fn build_with(state: &GameState, u: NodeId, k: u32, scratch: &mut ViewScratch) -> Self {
-        let mut view = PlayerView {
+        let mut view = Self::empty(u, k);
+        view.rebuild(state, u, k, scratch);
+        view
+    }
+
+    /// [`PlayerView::build_with`] from a precomputed radius-`k` ball
+    /// (see [`PlayerView::rebuild_from_ball`]).
+    pub fn build_from_ball(
+        state: &GameState,
+        u: NodeId,
+        k: u32,
+        ball: &[NodeId],
+        scratch: &mut ViewScratch,
+    ) -> Self {
+        let mut view = Self::empty(u, k);
+        view.rebuild_from_ball(state, u, k, ball, scratch);
+        view
+    }
+
+    /// The allocation-free skeleton every build entry point fills in.
+    fn empty(u: NodeId, k: u32) -> Self {
+        PlayerView {
             sub: Subgraph { graph: Graph::new(0), local_to_global: Vec::new() },
             center: 0,
             center_global: u,
@@ -88,9 +109,7 @@ impl PlayerView {
             incoming: Vec::new(),
             dist: Vec::new(),
             graph_minus_center: Graph::new(0),
-        };
-        view.rebuild(state, u, k, scratch);
-        view
+        }
     }
 
     /// Overwrites this view with the view of player `u` at radius `k`
@@ -104,6 +123,40 @@ impl PlayerView {
     /// Panics if `u` is out of range.
     pub fn rebuild(&mut self, state: &GameState, u: NodeId, k: u32, scratch: &mut ViewScratch) {
         view_subgraph_into(state.graph(), u, k, &mut scratch.buf, &mut scratch.ball, &mut self.sub);
+        self.rebuild_tail(state, u, k, scratch);
+    }
+
+    /// [`PlayerView::rebuild`] with the radius-`k` ball of `u` already
+    /// computed (ascending global ids — what the batched BFS kernel's
+    /// `lane_ball_into` emits, and what `ncg_graph::view::ball`
+    /// produces). Field-for-field identical to a fresh
+    /// [`PlayerView::build`]; the ball just skips the per-player BFS,
+    /// which the batched prefetch paths have already answered 64
+    /// players at a time.
+    ///
+    /// # Panics
+    /// Panics (in debug) if `ball` is not the radius-`k` ball of `u`.
+    pub fn rebuild_from_ball(
+        &mut self,
+        state: &GameState,
+        u: NodeId,
+        k: u32,
+        ball: &[NodeId],
+        scratch: &mut ViewScratch,
+    ) {
+        debug_assert!(ball.binary_search(&u).is_ok(), "ball must contain its center");
+        debug_assert_eq!(
+            ball,
+            ncg_graph::view::ball(state.graph(), u, k),
+            "precomputed ball disagrees with a scalar ball for player {u}"
+        );
+        ncg_graph::view::induced_subgraph_into(state.graph(), ball, &mut self.sub);
+        self.rebuild_tail(state, u, k, scratch);
+    }
+
+    /// The representation-independent rest of a (re)build: everything
+    /// after `self.sub` holds the induced ball subgraph.
+    fn rebuild_tail(&mut self, state: &GameState, u: NodeId, k: u32, scratch: &mut ViewScratch) {
         let sub = &self.sub;
         let center = sub.to_local(u).expect("center is always inside her own ball");
         let to_local = |globals: &[NodeId], out: &mut Vec<NodeId>| {
@@ -305,6 +358,23 @@ mod tests {
         for u in 0..10 {
             v.rebuild(&s, u, 2, &mut scratch);
             assert_eq!(v, PlayerView::build(&s, u, 2), "post-move u={u}");
+        }
+    }
+
+    #[test]
+    fn build_from_ball_matches_plain_build() {
+        let s = GameState::cycle_successor(10);
+        let mut scratch = ViewScratch::new();
+        for k in [1u32, 2, 100] {
+            for u in 0..10 {
+                let ball = ncg_graph::view::ball(s.graph(), u, k);
+                let from_ball = PlayerView::build_from_ball(&s, u, k, &ball, &mut scratch);
+                assert_eq!(from_ball, PlayerView::build(&s, u, k), "u={u} k={k}");
+                // And the rebuild-in-place flavour.
+                let mut v = PlayerView::build(&s, (u + 1) % 10, 1);
+                v.rebuild_from_ball(&s, u, k, &ball, &mut scratch);
+                assert_eq!(v, PlayerView::build(&s, u, k), "rebuild u={u} k={k}");
+            }
         }
     }
 

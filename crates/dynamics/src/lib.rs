@@ -53,7 +53,7 @@ mod trace;
 mod view_cache;
 
 pub use fingerprint::CycleDetector;
-pub use metrics::StateMetrics;
+pub use metrics::{MeasureScratch, StateMetrics};
 pub use runner::{
     run, run_many, run_with, run_with_cache, CacheArena, DynamicsConfig, Outcome, RunResult,
 };

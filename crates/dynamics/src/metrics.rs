@@ -2,9 +2,34 @@
 //! each round and reports in Figures 5–10.
 
 use ncg_core::{social, GameSpec, GameState};
+use ncg_graph::batch::{batch_bfs, batch_enabled, BatchDistances, BatchScratch, WORD_LANES};
 use ncg_graph::bfs::DistanceBuffer;
-use ncg_graph::{CsrGraph, INFINITY};
+use ncg_graph::{CsrGraph, NodeId, INFINITY};
 use serde::{Deserialize, Serialize};
+
+/// Reusable workspace of the measurement pass: the frozen CSR, the
+/// scalar BFS buffer, the batched kernel's scratch + result, and the
+/// per-player usage vector. One per repetition (the sweep engine's
+/// [`crate::CacheArena`] owns one), threaded through
+/// [`StateMetrics::measure_with`] so the per-cell epilogue re-allocates
+/// nothing — the same discipline `DistanceBuffer` brings to a single
+/// BFS.
+#[derive(Debug, Clone, Default)]
+pub struct MeasureScratch {
+    csr: CsrGraph,
+    buf: DistanceBuffer,
+    batch: BatchScratch,
+    dists: BatchDistances,
+    usages: Vec<Option<u64>>,
+    sources: Vec<NodeId>,
+}
+
+impl MeasureScratch {
+    /// Fresh scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Snapshot of every statistic the experimental section plots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,65 +75,147 @@ impl StateMetrics {
     /// parity-tested against `ncg_graph::metrics::diameter`,
     /// `ncg_graph::view::ball`, and the `ncg_core::social` BFS path).
     pub fn measure(state: &GameState, spec: &GameSpec) -> Self {
+        Self::measure_with(state, spec, &mut MeasureScratch::new())
+    }
+
+    /// [`StateMetrics::measure`] with caller-provided scratch: the
+    /// sweep epilogue's hot path, one scratch per repetition.
+    pub fn measure_with(state: &GameState, spec: &GameSpec, scratch: &mut MeasureScratch) -> Self {
+        Self::measure_with_policy(state, spec, scratch, batch_enabled())
+    }
+
+    /// [`StateMetrics::measure_with`] with the kernel choice pinned
+    /// explicitly — the in-process A/B hook of the bit-parity tests
+    /// (toggling `NCG_BATCH_BFS` inside a test process would race the
+    /// once-read environment).
+    pub fn measure_with_policy(
+        state: &GameState,
+        spec: &GameSpec,
+        scratch: &mut MeasureScratch,
+        batched: bool,
+    ) -> Self {
         let g = state.graph();
         let n = state.n();
-        let csr = CsrGraph::from_graph(g);
-        let mut buf = DistanceBuffer::with_capacity(n);
+        scratch.csr.refreeze(g);
         let mut min_view = usize::MAX;
         let mut view_total = 0usize;
         let mut ecc_max = 0u32;
         let mut connected = true;
-        let mut usages: Vec<Option<u64>> = Vec::with_capacity(n);
-        for u in 0..n as u32 {
-            let ecc = csr.bfs(u, &mut buf);
-            let reaches_all = buf.visited().len() == n;
-            connected &= reaches_all;
-            ecc_max = ecc_max.max(ecc);
-            let size = buf.distances().iter().filter(|&&d| d != INFINITY && d <= spec.k).count();
-            min_view = min_view.min(size);
-            view_total += size;
-            usages.push(spec.objective.usage_cost().distance_usage(
-                reaches_all,
-                ecc,
-                buf.distances(),
-            ));
+        scratch.usages.clear();
+        let usage_cost = spec.objective.usage_cost();
+        if batched {
+            // ⌈n/64⌉ lane-group passes instead of n scalar BFS: every
+            // per-player quantity falls out of the per-lane aggregates
+            // (level histogram), bit-identical to the scalar loop.
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + WORD_LANES).min(n);
+                scratch.sources.clear();
+                scratch.sources.extend(lo as u32..hi as u32);
+                batch_bfs(
+                    &scratch.csr,
+                    &scratch.sources,
+                    u32::MAX,
+                    &mut scratch.batch,
+                    &mut scratch.dists,
+                );
+                for lane in 0..hi - lo {
+                    let ecc = scratch.dists.ecc(lane);
+                    let reaches_all = scratch.dists.reached(lane) == n;
+                    connected &= reaches_all;
+                    ecc_max = ecc_max.max(ecc);
+                    let size = scratch.dists.ball_size(lane, spec.k);
+                    min_view = min_view.min(size);
+                    view_total += size;
+                    scratch.usages.push(usage_cost.aggregate_usage(
+                        reaches_all,
+                        ecc,
+                        scratch.dists.status_sum(lane),
+                    ));
+                }
+                lo = hi;
+            }
+        } else {
+            for u in 0..n as u32 {
+                let ecc = scratch.csr.bfs(u, &mut scratch.buf);
+                let reaches_all = scratch.buf.visited().len() == n;
+                connected &= reaches_all;
+                ecc_max = ecc_max.max(ecc);
+                let size = scratch
+                    .buf
+                    .distances()
+                    .iter()
+                    .filter(|&&d| d != INFINITY && d <= spec.k)
+                    .count();
+                min_view = min_view.min(size);
+                view_total += size;
+                scratch.usages.push(usage_cost.distance_usage(
+                    reaches_all,
+                    ecc,
+                    scratch.buf.distances(),
+                ));
+            }
         }
         if n == 0 {
             min_view = 0;
         }
+        let usages = &scratch.usages;
         StateMetrics {
             n,
             edges: g.edge_count(),
             diameter: (n > 0 && connected).then_some(ecc_max),
-            social_cost: social::social_cost_with_usages(state, spec, &usages),
-            quality: social::quality_with_usages(state, spec, &usages),
+            social_cost: social::social_cost_with_usages(state, spec, usages),
+            quality: social::quality_with_usages(state, spec, usages),
             max_degree: g.max_degree(),
             avg_degree: g.avg_degree(),
             max_bought: state.max_bought(),
             avg_bought: if n == 0 { 0.0 } else { state.total_bought() as f64 / n as f64 },
             min_view,
             avg_view: if n == 0 { 0.0 } else { view_total as f64 / n as f64 },
-            unfairness: social::unfairness_with_usages(state, spec, &usages),
+            unfairness: social::unfairness_with_usages(state, spec, usages),
         }
     }
 
     /// Convenience: the view-size statistics alone, which Figure 5
-    /// plots (min and mean over players). Same CSR bounded-BFS path
-    /// as [`StateMetrics::measure`].
+    /// plots (min and mean over players). Same lane-grouped (or, with
+    /// `NCG_BATCH_BFS=0`, CSR bounded-BFS) path as
+    /// [`StateMetrics::measure`].
     pub fn view_sizes(state: &GameState, k: u32) -> (usize, f64) {
         let n = state.n();
         if n == 0 {
             return (0, 0.0);
         }
-        let csr = CsrGraph::from_graph(state.graph());
-        let mut buf = DistanceBuffer::with_capacity(n);
+        let mut scratch = MeasureScratch::new();
+        scratch.csr.refreeze(state.graph());
         let mut min = usize::MAX;
         let mut total = 0usize;
-        for u in 0..n as u32 {
-            csr.bfs_bounded(u, k, &mut buf);
-            let size = buf.visited().len();
-            min = min.min(size);
-            total += size;
+        if batch_enabled() {
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + WORD_LANES).min(n);
+                scratch.sources.clear();
+                scratch.sources.extend(lo as u32..hi as u32);
+                batch_bfs(
+                    &scratch.csr,
+                    &scratch.sources,
+                    k,
+                    &mut scratch.batch,
+                    &mut scratch.dists,
+                );
+                for lane in 0..hi - lo {
+                    let size = scratch.dists.reached(lane);
+                    min = min.min(size);
+                    total += size;
+                }
+                lo = hi;
+            }
+        } else {
+            for u in 0..n as u32 {
+                scratch.csr.bfs_bounded(u, k, &mut scratch.buf);
+                let size = scratch.buf.visited().len();
+                min = min.min(size);
+                total += size;
+            }
         }
         (min, total as f64 / n as f64)
     }
@@ -204,6 +311,33 @@ mod tests {
                     "unfairness parity (state {i}, {:?})",
                     spec.objective
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_measure_is_bit_identical_to_scalar() {
+        // The 64-lane batched path and the per-vertex scalar path must
+        // agree on every field — including the f64 averages — on
+        // connected, disconnected, empty, and >64-node profiles (the
+        // last exercising multiple lane groups and a partial one).
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let mut states: Vec<GameState> = (0..3)
+            .map(|t| {
+                let g = ncg_graph::generators::gnp(70, 0.03 + 0.03 * t as f64, &mut rng).unwrap();
+                GameState::from_graph_random_ownership(&g, &mut rng)
+            })
+            .collect();
+        states.push(GameState::from_strategies(4, vec![vec![1], vec![], vec![3], vec![]]));
+        states.push(GameState::cycle_successor(130));
+        states.push(GameState::from_strategies(0, vec![]));
+        let mut scratch = MeasureScratch::new();
+        for (i, state) in states.iter().enumerate() {
+            for spec in [GameSpec::max(1.3, 2), GameSpec::sum(2.1, 3)] {
+                let batched = StateMetrics::measure_with_policy(state, &spec, &mut scratch, true);
+                let scalar = StateMetrics::measure_with_policy(state, &spec, &mut scratch, false);
+                assert_eq!(batched, scalar, "batched parity (state {i}, {:?})", spec.objective);
             }
         }
     }

@@ -145,18 +145,6 @@ fn bfs_kernel<A: Adjacency + ?Sized>(
     max_d
 }
 
-/// Crate-internal access to the shared kernel for alternative drivers
-/// (the CSR methods in [`crate::csr`]).
-#[inline]
-pub(crate) fn kernel_multi_bounded<A: Adjacency + ?Sized>(
-    g: &A,
-    sources: &[NodeId],
-    limit: u32,
-    buf: &mut DistanceBuffer,
-) -> u32 {
-    bfs_kernel(g, sources, limit, NO_NODE, buf)
-}
-
 /// Full BFS from `source`; fills `buf` with distances in `g`.
 ///
 /// Returns the eccentricity of `source` within its connected component

@@ -9,7 +9,7 @@
 //! allocation. Freezing is `O(n + m)`; the benches in
 //! `ncg-bench/benches/substrates.rs` quantify the BFS win.
 
-use crate::bfs::{kernel_multi_bounded, Adjacency, DistanceBuffer};
+use crate::bfs::{Adjacency, DistanceBuffer};
 #[cfg(test)]
 use crate::INFINITY;
 use crate::{Graph, NodeId};
@@ -25,15 +25,27 @@ pub struct CsrGraph {
 impl CsrGraph {
     /// Freezes a [`Graph`] into CSR form.
     pub fn from_graph(g: &Graph) -> Self {
+        let mut csr = CsrGraph { offsets: Vec::new(), targets: Vec::new() };
+        csr.refreeze(g);
+        csr
+    }
+
+    /// Re-freezes `g` into this CSR, reusing the offsets/targets
+    /// allocations of the previous freeze — the per-cell epilogue path
+    /// of the sweep engine, which measures one state per repetition ×
+    /// `(α, k)` cell and would otherwise re-allocate the layout every
+    /// time. Equivalent to `*self = CsrGraph::from_graph(g)`.
+    pub fn refreeze(&mut self, g: &Graph) {
         let n = g.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut targets = Vec::with_capacity(2 * g.edge_count());
-        offsets.push(0);
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.targets.clear();
+        self.targets.reserve(2 * g.edge_count());
+        self.offsets.push(0);
         for u in 0..n as NodeId {
-            targets.extend_from_slice(g.neighbors(u));
-            offsets.push(targets.len() as u32);
+            self.targets.extend_from_slice(g.neighbors(u));
+            self.offsets.push(self.targets.len() as u32);
         }
-        CsrGraph { offsets, targets }
     }
 
     /// Number of nodes.
@@ -68,27 +80,26 @@ impl CsrGraph {
     /// Full BFS from `source` on the CSR layout; same contract as
     /// [`crate::bfs::bfs`]. Returns the largest finite distance.
     pub fn bfs(&self, source: NodeId, buf: &mut DistanceBuffer) -> u32 {
-        self.bfs_bounded(source, u32::MAX, buf)
+        crate::bfs::bfs(self, source, buf)
     }
 
-    /// Bounded BFS (distance `≤ limit`) on the CSR layout.
+    /// Bounded BFS (distance `≤ limit`) on the CSR layout; same
+    /// contract as [`crate::bfs::bfs_bounded`].
     pub fn bfs_bounded(&self, source: NodeId, limit: u32, buf: &mut DistanceBuffer) -> u32 {
-        kernel_multi_bounded(self, &[source], limit, buf)
+        crate::bfs::bfs_bounded(self, source, limit, buf)
     }
 
-    /// Bounded **multi-source** BFS on the CSR layout: every source is
-    /// enqueued at distance 0 (duplicates are harmless), nodes at
-    /// distance `> limit` keep `INFINITY`. This is the batched frontier
-    /// sweep the best-response reduction's APSP and the view machinery
-    /// share (one kernel, see `crate::bfs`); returns the largest
-    /// finite distance reached.
+    /// Bounded **multi-source** BFS on the CSR layout; same contract
+    /// as [`crate::bfs::bfs_multi_bounded`] — these methods are pure
+    /// conveniences over the one generic kernel in `crate::bfs`, not
+    /// separate drivers.
     pub fn bfs_multi_bounded(
         &self,
         sources: &[NodeId],
         limit: u32,
         buf: &mut DistanceBuffer,
     ) -> u32 {
-        kernel_multi_bounded(self, sources, limit, buf)
+        crate::bfs::bfs_multi_bounded(self, sources, limit, buf)
     }
 
     /// All-pairs distance matrix via per-source BFS (sequential; the
@@ -124,6 +135,14 @@ impl Adjacency for CsrGraph {
     #[inline]
     fn adjacent(&self, u: NodeId) -> &[NodeId] {
         self.neighbors(u)
+    }
+}
+
+impl Default for CsrGraph {
+    /// The CSR of the empty graph — a valid freeze target for
+    /// [`CsrGraph::refreeze`], so scratch bundles can derive `Default`.
+    fn default() -> Self {
+        CsrGraph { offsets: vec![0], targets: Vec::new() }
     }
 }
 
@@ -212,6 +231,21 @@ mod tests {
             assert_eq!(a.distances(), b.distances());
             assert_eq!(a.visited(), b.visited());
         }
+    }
+
+    #[test]
+    fn refreeze_reuses_and_matches_fresh_freeze() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut csr = CsrGraph::from_graph(&generators::path(40));
+        for p in [0.03, 0.08, 0.2] {
+            let g = generators::gnp(35, p, &mut rng).unwrap();
+            csr.refreeze(&g);
+            assert_eq!(csr, CsrGraph::from_graph(&g));
+        }
+        // Shrinking to a smaller graph is fine too.
+        csr.refreeze(&generators::path(3));
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr, CsrGraph::from_graph(&generators::path(3)));
     }
 
     #[test]

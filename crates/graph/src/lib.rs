@@ -7,6 +7,9 @@
 //!   with sorted adjacency lists and `u32` node identifiers.
 //! * [`bfs`] — breadth-first search kernels with caller-provided scratch
 //!   buffers so the hot path allocates nothing per call.
+//! * [`batch`] — bit-parallel batched BFS: 64 sources per machine word,
+//!   one traversal answering a whole lane group's distance queries,
+//!   bit-identical per lane to the scalar kernels.
 //! * [`metrics`] — eccentricity, diameter, radius, girth, connectivity,
 //!   with rayon-parallel all-pairs variants.
 //! * [`view`] — radius-`k` balls, induced subgraphs with node mappings
@@ -34,6 +37,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bfs;
 pub mod csr;
 pub mod dot;
@@ -49,6 +53,7 @@ pub use graph::{Graph, NodeId};
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::batch::{BatchDistances, BatchScratch};
     pub use crate::bfs::DistanceBuffer;
     pub use crate::generators;
     pub use crate::metrics;

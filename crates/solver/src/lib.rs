@@ -61,9 +61,10 @@ pub mod sum_engine;
 
 use ncg_core::deviation::EvalScratch;
 use ncg_core::equilibrium::{self, BestResponder, Deviation};
-use ncg_core::{GameSpec, GameState, PlayerView};
+use ncg_core::{GameSpec, GameState, PlayerView, ViewScratch};
+use ncg_graph::batch::{batch_bfs, batch_enabled, BatchDistances, BatchScratch, WORD_LANES};
 use ncg_graph::bfs::DistanceBuffer;
-use ncg_graph::NodeId;
+use ncg_graph::{CsrGraph, NodeId};
 use rayon::prelude::*;
 
 /// Search effort: exact optimisation or the greedy/heuristic variant
@@ -307,8 +308,61 @@ impl BestResponder for Responder {
 /// hill-climb fallback — which made SumNCG checks sound only as a
 /// negative certificate — is gone), so a `true` here is a genuine
 /// equilibrium certificate for any view size.
+///
+/// Dispatches the view construction to the 64-lane batched ball
+/// kernel ([`is_lke_batched`]) unless `NCG_BATCH_BFS=0`; the verdict
+/// is identical either way.
 pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
-    equilibrium::is_lke_with(state, spec, &mut Responder::exact())
+    if batch_enabled() {
+        is_lke_batched(state, spec)
+    } else {
+        equilibrium::is_lke_with(state, spec, &mut Responder::exact())
+    }
+}
+
+/// Exact LKE check with the per-player radius-`k` balls computed by
+/// the bit-parallel batched BFS kernel: one CSR freeze, then
+/// `⌈n/64⌉` lane-group sweeps instead of `n` scalar bounded BFS runs,
+/// each lane's ball feeding [`PlayerView::build_from_ball`] (one view
+/// slot rebuilt in place across all players). Player order, early
+/// exit on the first violation, and the verdict are identical to the
+/// scalar [`equilibrium::is_lke_with`] path.
+pub fn is_lke_batched(state: &GameState, spec: &GameSpec) -> bool {
+    let n = state.n();
+    let csr = CsrGraph::from_graph(state.graph());
+    let mut responder = Responder::exact();
+    let mut scratch = BatchScratch::new();
+    let mut dists = BatchDistances::default();
+    let mut vscratch = ViewScratch::new();
+    let mut ball: Vec<NodeId> = Vec::new();
+    let mut sources: Vec<NodeId> = Vec::new();
+    let mut view: Option<PlayerView> = None;
+    let mut lo = 0usize;
+    while lo < n {
+        let hi = (lo + WORD_LANES).min(n);
+        sources.clear();
+        sources.extend(lo as NodeId..hi as NodeId);
+        batch_bfs(&csr, &sources, spec.k, &mut scratch, &mut dists);
+        for lane in 0..hi - lo {
+            let u = (lo + lane) as NodeId;
+            dists.lane_ball_into(lane, &mut ball);
+            match view.as_mut() {
+                Some(v) => v.rebuild_from_ball(state, u, spec.k, &ball, &mut vscratch),
+                None => {
+                    view =
+                        Some(PlayerView::build_from_ball(state, u, spec.k, &ball, &mut vscratch));
+                }
+            }
+            let v = view.as_ref().expect("slot filled above");
+            let current = ncg_core::deviation::current_total(spec, v);
+            let best = responder.best_response(spec, v);
+            if GameSpec::strictly_better(best.total_cost, current) {
+                return false;
+            }
+        }
+        lo = hi;
+    }
+    true
 }
 
 /// Exact LKE check with the `n` best responses fanned out over the
@@ -328,22 +382,80 @@ pub fn is_lke(state: &GameState, spec: &GameSpec) -> bool {
 /// (`ncg-constructions`), whose torus and high-girth instances are the
 /// largest exact solves in the workspace.
 pub fn is_lke_par(state: &GameState, spec: &GameSpec) -> bool {
-    let violated = std::sync::atomic::AtomicBool::new(false);
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let violated = AtomicBool::new(false);
+    if batch_enabled() {
+        // Batched grain: each pool task certifies one 64-lane group —
+        // a single batched ball sweep on the shared CSR, then the
+        // group's players solved on a per-worker view slot rebuilt in
+        // place. Per-worker state (responder, batch scratch, view
+        // scratch) is reused across all the groups a worker steals.
+        let n = state.n() as NodeId;
+        let csr = CsrGraph::from_graph(state.graph());
+        let starts: Vec<NodeId> = (0..n).step_by(WORD_LANES).collect();
+        let _: Vec<()> = starts
+            .into_par_iter()
+            .map_init(
+                || {
+                    (
+                        Responder::exact(),
+                        BatchScratch::new(),
+                        BatchDistances::default(),
+                        ViewScratch::new(),
+                        Vec::<NodeId>::new(),
+                        Vec::<NodeId>::new(),
+                        None::<PlayerView>,
+                    )
+                },
+                |(responder, scratch, dists, vscratch, ball, sources, view), lo| {
+                    if violated.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let hi = (lo + WORD_LANES as NodeId).min(n);
+                    sources.clear();
+                    sources.extend(lo..hi);
+                    batch_bfs(&csr, sources, spec.k, scratch, dists);
+                    for lane in 0..(hi - lo) as usize {
+                        if violated.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let u = lo + lane as NodeId;
+                        dists.lane_ball_into(lane, ball);
+                        match view.as_mut() {
+                            Some(v) => v.rebuild_from_ball(state, u, spec.k, ball, vscratch),
+                            None => {
+                                *view = Some(PlayerView::build_from_ball(
+                                    state, u, spec.k, ball, vscratch,
+                                ));
+                            }
+                        }
+                        let v = view.as_ref().expect("slot filled above");
+                        let current = ncg_core::deviation::current_total(spec, v);
+                        let best = responder.best_response(spec, v);
+                        if GameSpec::strictly_better(best.total_cost, current) {
+                            violated.store(true, Ordering::Relaxed);
+                        }
+                    }
+                },
+            )
+            .collect();
+        return !violated.load(Ordering::Relaxed);
+    }
     let _: Vec<()> = (0..state.n() as NodeId)
         .into_par_iter()
         .map_init(Responder::exact, |responder, u| {
-            if violated.load(std::sync::atomic::Ordering::Relaxed) {
+            if violated.load(Ordering::Relaxed) {
                 return;
             }
             let view = PlayerView::build(state, u, spec.k);
             let current = ncg_core::deviation::current_total(spec, &view);
             let best = responder.best_response(spec, &view);
             if GameSpec::strictly_better(best.total_cost, current) {
-                violated.store(true, std::sync::atomic::Ordering::Relaxed);
+                violated.store(true, Ordering::Relaxed);
             }
         })
         .collect();
-    !violated.load(std::sync::atomic::Ordering::Relaxed)
+    !violated.load(Ordering::Relaxed)
 }
 
 /// First improving player found by the exact responder, with her
@@ -399,6 +511,47 @@ mod tests {
         let state = GameState::star_center_owned(12);
         assert!(is_lke(&state, &GameSpec::max(2.0, 4)));
         assert!(is_lke(&state, &GameSpec::sum(2.0, 4)));
+    }
+
+    #[test]
+    fn batched_certification_matches_the_scalar_path() {
+        // `is_lke_batched` and `is_lke_par` must agree with the scalar
+        // `equilibrium::is_lke_with` verdict on positive and negative
+        // instances, both objectives, including >64-player states
+        // (multiple lane groups, one partial).
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(52);
+        let mut states = vec![
+            GameState::cycle_successor(70),
+            GameState::star_center_owned(66),
+            GameState::cycle_successor(12),
+        ];
+        let tree = ncg_graph::generators::random_tree(30, &mut rng);
+        states.push(GameState::from_graph_random_ownership(&tree, &mut rng));
+        for (i, state) in states.iter().enumerate() {
+            for spec in [
+                GameSpec::max(2.0, 2),
+                GameSpec::max(0.1, 4),
+                GameSpec::sum(2.0, 3),
+                GameSpec::sum(0.4, 3),
+            ] {
+                let scalar = equilibrium::is_lke_with(state, &spec, &mut Responder::exact());
+                assert_eq!(
+                    is_lke_batched(state, &spec),
+                    scalar,
+                    "batched verdict (state {i}, α={}, k={})",
+                    spec.alpha,
+                    spec.k
+                );
+                assert_eq!(
+                    is_lke_par(state, &spec),
+                    scalar,
+                    "parallel verdict (state {i}, α={}, k={})",
+                    spec.alpha,
+                    spec.k
+                );
+            }
+        }
     }
 
     #[test]
