@@ -30,6 +30,10 @@
 //! * [`StateMetrics`] — the per-network statistics the paper collects
 //!   after every round (diameter, social cost, degrees, bought edges,
 //!   view sizes, fairness).
+//! * [`scale`] — the million-node tier: flat structure-of-arrays
+//!   state, CSR-native greedy responders, and simultaneous rounds
+//!   with deterministic conflict resolution (approximate responders,
+//!   exact pricing; see DESIGN.md §13).
 //!
 //! ## Example
 //!
@@ -49,6 +53,7 @@
 mod fingerprint;
 mod metrics;
 mod runner;
+pub mod scale;
 mod trace;
 mod view_cache;
 

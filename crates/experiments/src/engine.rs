@@ -52,7 +52,7 @@ use parking_lot::Mutex;
 
 use crate::fault::{self, FaultPlan};
 use crate::journal::{self, CellFailed, JournalEntry, JournalWriter};
-use crate::sweep::{run_cells, CellId, CellOutcome, RunRecord, Shard, SweepSpec};
+use crate::sweep::{run_spec_cells, CellId, RunRecord, Shard, SweepSpec};
 
 /// How an experiment's sweeps are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -322,7 +322,6 @@ fn run_shard(
         cells_resumed += preload.len();
         let skip: Vec<bool> = (0..spec.cell_count()).map(|i| preload.contains_key(&i)).collect();
         let grid = spec.fingerprint();
-        let states = spec.states();
         let sink = Mutex::new(SinkState {
             writer: writer.take(),
             pending: if do_fold { preload } else { BTreeMap::new() },
@@ -334,24 +333,13 @@ fn run_shard(
         if do_fold {
             sink.lock().drain(si, spec);
         }
-        run_cells(
-            &states,
-            &spec.alphas,
-            &spec.ks,
-            spec.scenario(),
+        run_spec_cells(
+            spec,
             ctx.warm_start,
             shard,
             &|index| skip[index],
-            &|cell, outcome| match outcome {
-                CellOutcome::Done(result) => {
-                    let record = RunRecord::new(
-                        spec.class(),
-                        spec.n,
-                        spec.alphas[cell.ai],
-                        spec.ks[cell.ki],
-                        cell.rep,
-                        &result,
-                    );
+            &|cell, entry| match entry {
+                Ok(record) => {
                     if let Some(f) = fault.as_ref() {
                         if f.should_die_before_result() {
                             f.abort("before journaling a cell result");
@@ -373,7 +361,7 @@ fn run_shard(
                         s.drain(si, spec);
                     }
                 }
-                CellOutcome::Failed(message) => {
+                Err(message) => {
                     let mut s = sink.lock();
                     s.failed += 1;
                     if let Some(w) = s.writer.as_mut() {

@@ -22,6 +22,7 @@
 //! | [`figure9`] | Figure 9 — unfairness ratio vs `α` |
 //! | [`figure10`] | Figure 10 — convergence rounds vs `α` and vs `n` |
 //! | [`lower_bounds`] | Lemma 3.1 / 3.2, Theorems 3.12 / 4.2 certifications |
+//! | [`scale_dynamics`] | *extension*: million-node approximate dynamics tier |
 //! | [`sum_extension`] | *extension*: SumNCG dynamics sweep + Theorem 4.4 check |
 //! | [`swap_ncg`] | *extension*: swap-game dynamics (one edge re-pointed per move) |
 //! | [`nonuniform`] | *extension*: per-target edge prices `α·w(v)` (model zoo) |
@@ -65,6 +66,7 @@ pub mod output;
 pub mod profile;
 pub mod protocol;
 pub mod queue;
+pub mod scale_dynamics;
 pub mod sum_extension;
 pub mod swap_ncg;
 pub mod sweep;
@@ -97,6 +99,7 @@ pub fn run_experiment(
         "figure9" => figure9::run_ctx(profile, ctx),
         "figure10" => figure10::run_ctx(profile, ctx),
         "lower-bounds" => lower_bounds::run(profile),
+        "scale-dynamics" => scale_dynamics::run_ctx(profile, ctx),
         "sum-extension" => sum_extension::run_ctx(profile, ctx),
         "swap-ncg" => swap_ncg::run_ctx(profile, ctx),
         "nonuniform" => nonuniform::run_ctx(profile, ctx),

@@ -11,7 +11,8 @@
 //!
 //! experiments: table1 table2 figures12 figure3 figure4 figure5
 //!              figure6 figure7 figure8 figure9 figure10
-//!              lower-bounds sum-extension swap-ncg nonuniform all
+//!              lower-bounds scale-dynamics sum-extension swap-ncg
+//!              nonuniform all
 //! --full/--paper   use the paper's exact grid instead of the quick
 //!                  profile (with the paper's 20 repetitions this can
 //!                  take hours; combine with --reps to trade CI width
@@ -78,6 +79,7 @@ const EXPERIMENTS: &[&str] = &[
     "figure9",
     "figure10",
     "lower-bounds",
+    "scale-dynamics",
     "sum-extension",
     "swap-ncg",
     "nonuniform",
@@ -94,6 +96,7 @@ const SWEEP_EXPERIMENTS: &[&str] = &[
     "figure8",
     "figure9",
     "figure10",
+    "scale-dynamics",
     "sum-extension",
     "swap-ncg",
     "nonuniform",

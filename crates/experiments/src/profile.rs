@@ -22,6 +22,22 @@ pub struct Profile {
     pub tree_ns: Vec<usize>,
     /// Erdős–Rényi `(n, p)` rows.
     pub er_configs: Vec<(usize, f64)>,
+    /// Scale-tier player count (`scale-dynamics`; paper-scale is
+    /// `10^6`, the CI smoke lane runs `10^5`).
+    pub scale_n: usize,
+    /// Scale-tier expected degree (`p = avg_deg / (n - 1)`).
+    pub scale_avg_deg: f64,
+    /// Scale-tier repetitions (kept separate from `reps`: one rep is
+    /// a full million-node dynamics, not a 100-node one).
+    pub scale_reps: usize,
+    /// Scale-tier round cap (the approximate dynamics reports
+    /// `capped` runs honestly instead of iterating to convergence).
+    pub scale_rounds: usize,
+    /// Scale-tier edge-price grid (much smaller than `alphas`).
+    pub scale_alphas: Vec<f64>,
+    /// Scale-tier knowledge-radius grid (small `k` only — a radius-7
+    /// ball at average degree 10 is already the whole graph).
+    pub scale_ks: Vec<u32>,
     /// Base seed; every workload seed derives from it.
     pub base_seed: u64,
     /// Human-readable name, recorded in outputs.
@@ -47,6 +63,12 @@ impl Profile {
                 (200, 0.050),
                 (200, 0.100),
             ],
+            scale_n: 1_000_000,
+            scale_avg_deg: 10.0,
+            scale_reps: 3,
+            scale_rounds: 8,
+            scale_alphas: vec![1.0, 5.0],
+            scale_ks: vec![2],
             base_seed: 0x9e3779b97f4a7c15,
             name: "paper",
         }
@@ -62,6 +84,12 @@ impl Profile {
             ks: vec![2, 3, 4, 5, 7, 1000],
             tree_ns: vec![20, 30, 50, 70],
             er_configs: vec![(50, 0.10), (70, 0.07)],
+            scale_n: 20_000,
+            scale_avg_deg: 10.0,
+            scale_reps: 2,
+            scale_rounds: 8,
+            scale_alphas: vec![1.0, 5.0],
+            scale_ks: vec![2],
             base_seed: 0x9e3779b97f4a7c15,
             name: "quick",
         }
@@ -75,6 +103,16 @@ impl Profile {
             ks: vec![2, 1000],
             tree_ns: vec![16, 24],
             er_configs: vec![(24, 0.2)],
+            // The CI scale lane runs `scale-dynamics --smoke`: 10^5
+            // players, four rounds — seconds in release, and big
+            // enough that an accidental O(n) per-player allocation
+            // would blow the lane's wall-clock budget.
+            scale_n: 100_000,
+            scale_avg_deg: 10.0,
+            scale_reps: 2,
+            scale_rounds: 4,
+            scale_alphas: vec![1.0, 5.0],
+            scale_ks: vec![2],
             base_seed: 0x9e3779b97f4a7c15,
             name: "smoke",
         }
@@ -154,6 +192,19 @@ mod tests {
         }
         for k in &q.ks {
             assert!(p.ks.contains(k), "quick k={k} should come from the paper grid");
+        }
+    }
+
+    #[test]
+    fn scale_tier_grids_are_sized_to_their_profiles() {
+        assert_eq!(Profile::paper().scale_n, 1_000_000);
+        assert_eq!(Profile::smoke().scale_n, 100_000);
+        assert!(Profile::quick().scale_n < Profile::smoke().scale_n);
+        for p in [Profile::paper(), Profile::quick(), Profile::smoke()] {
+            assert!(p.scale_avg_deg > 0.0);
+            assert!(p.scale_reps >= 1 && p.scale_rounds >= 1);
+            assert!(!p.scale_alphas.is_empty() && !p.scale_ks.is_empty());
+            assert!(p.scale_ks.iter().all(|&k| k <= 3), "scale tier keeps balls small");
         }
     }
 

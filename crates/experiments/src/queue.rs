@@ -50,13 +50,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ncg_core::GameState;
+use ncg_dynamics::scale::{ScaleArena, ScaleState};
 use ncg_dynamics::CacheArena;
 use parking_lot::Mutex;
 
 use crate::fault::{self, FaultPlan};
 use crate::journal::{self, CellFailed, JournalEntry, JournalWriter};
 use crate::protocol::{Reply, Request};
-use crate::sweep::{solve_cell_guarded, RunRecord, SweepSpec};
+use crate::sweep::{solve_cell_guarded, solve_scale_cell_guarded, RunRecord, SweepSpec};
 
 /// A cell's key in the queue: `(sweep position in the plan, canonical
 /// cell index)`.
@@ -798,12 +799,16 @@ enum SessionEnd {
 /// initial states per sweep, and one warm-start arena per
 /// `(sweep, rep)` — cells of one rep reuse it whenever the queue
 /// happens to hand them to the same worker (bit-identical either
-/// way; the arena is purely a speedup).
+/// way; the arena is purely a speedup). Scale sweeps keep their own
+/// flat states and [`ScaleArena`]s so a million-node worker never
+/// materialises a `GameState` or an `O(n)`-slot view cache.
 struct Solver<'a> {
     specs: &'a [SweepSpec],
     warm_start: bool,
     states: HashMap<usize, Vec<GameState>>,
     arenas: HashMap<(usize, usize), CacheArena>,
+    scale_states: HashMap<usize, Vec<ScaleState>>,
+    scale_arenas: HashMap<(usize, usize), ScaleArena>,
 }
 
 impl Solver<'_> {
@@ -815,10 +820,30 @@ impl Solver<'_> {
     ) -> Result<RunRecord, String> {
         let spec = &self.specs[si];
         let id = spec.cell(cell);
-        let states = self.states.entry(si).or_insert_with(|| spec.states());
-        let arena = self.arenas.entry((si, id.rep)).or_default();
         // panic_cell targets canonical cell N of the plan's first sweep.
         let inject = si == 0 && fault.is_some_and(|f| f.panics_at_cell(cell));
+        if spec.is_scale() {
+            let states = self.scale_states.entry(si).or_insert_with(|| spec.scale_states());
+            let arena = self.scale_arenas.entry((si, id.rep)).or_default();
+            let (result, final_state) = solve_scale_cell_guarded(
+                &states[id.rep],
+                spec,
+                spec.alphas[id.ai],
+                spec.ks[id.ki],
+                arena,
+                inject,
+            )?;
+            return Ok(RunRecord::from_scale(
+                spec.class(),
+                spec.alphas[id.ai],
+                spec.ks[id.ki],
+                id.rep,
+                &result,
+                &final_state,
+            ));
+        }
+        let states = self.states.entry(si).or_insert_with(|| spec.states());
+        let arena = self.arenas.entry((si, id.rep)).or_default();
         let result = solve_cell_guarded(
             &states[id.rep],
             spec.scenario(),
@@ -853,6 +878,8 @@ pub fn work(experiment: &str, specs: &[SweepSpec], opts: &WorkOptions) -> std::i
         warm_start: opts.warm_start,
         states: HashMap::new(),
         arenas: HashMap::new(),
+        scale_states: HashMap::new(),
+        scale_arenas: HashMap::new(),
     };
     let mut backoff = Backoff::new(&opts.worker_id);
     let mut ever_connected = false;

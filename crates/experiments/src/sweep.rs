@@ -29,6 +29,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ncg_core::{EdgeCostModel, GameState, MoveRulePolicy, Objective, Scenario};
+use ncg_dynamics::scale::{run_scale, ScaleArena, ScaleConfig, ScaleRunResult, ScaleState};
 use ncg_dynamics::{run, run_with_cache, CacheArena, DynamicsConfig, RunResult};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -63,6 +64,16 @@ pub enum Workload {
     Tree,
     /// Connected `G(n, p)` samples with coin-toss ownership (Table II).
     Er(f64),
+    /// Flat `G(n, avg_deg/(n-1))` samples for the million-node scale
+    /// tier, solved with the approximate simultaneous-move dynamics
+    /// ([`ncg_dynamics::scale`]) instead of the exact responder.
+    ScaleEr {
+        /// Expected degree (`p = avg_deg / (n - 1)`).
+        avg_deg: f64,
+        /// Round cap of the scale dynamics (part of the cell contents,
+        /// unlike the exact tier's effectively-never-hit default cap).
+        max_rounds: usize,
+    },
 }
 
 /// A declarative description of one sweep: the workload family, the
@@ -149,16 +160,56 @@ impl SweepSpec {
         }
     }
 
+    /// A scale-tier Erdős–Rényi sweep: `G(n, avg_deg/(n-1))` inputs in
+    /// flat [`ScaleState`] layout, solved with the approximate
+    /// simultaneous-move dynamics under a `max_rounds` cap. Only the
+    /// canonical (uniform-price, any-subset) games are supported at
+    /// this tier, so the scenario handle is a bare [`Objective`].
+    #[allow(clippy::too_many_arguments)] // mirrors `er` plus the round cap
+    pub fn scale_er(
+        label: impl Into<String>,
+        n: usize,
+        avg_deg: f64,
+        max_rounds: usize,
+        reps: usize,
+        seed: u64,
+        alphas: Vec<f64>,
+        ks: Vec<u32>,
+        objective: Objective,
+    ) -> Self {
+        SweepSpec {
+            label: label.into(),
+            workload: Workload::ScaleEr { avg_deg, max_rounds },
+            n,
+            reps,
+            seed,
+            alphas,
+            ks,
+            objective,
+            edge_cost: EdgeCostModel::Uniform,
+            move_rule: MoveRulePolicy::AnySubset,
+        }
+    }
+
+    /// Whether this sweep runs on the scale tier (flat states, the
+    /// approximate simultaneous dynamics, [`ScaleArena`] warm starts)
+    /// instead of the exact `GameState` path.
+    pub fn is_scale(&self) -> bool {
+        matches!(self.workload, Workload::ScaleEr { .. })
+    }
+
     /// The sweep's scenario (objective × edge cost × move rule).
     pub fn scenario(&self) -> Scenario {
         Scenario { objective: self.objective, edge_cost: self.edge_cost, move_rule: self.move_rule }
     }
 
-    /// The workload class tag recorded in run records (`"tree"`/`"er"`).
+    /// The workload class tag recorded in run records
+    /// (`"tree"` / `"er"` / `"scale_er"`).
     pub fn class(&self) -> &'static str {
         match self.workload {
             Workload::Tree => "tree",
             Workload::Er(_) => "er",
+            Workload::ScaleEr { .. } => "scale_er",
         }
     }
 
@@ -204,10 +255,32 @@ impl SweepSpec {
 
     /// Samples the sweep's initial states (one per rep, seeded
     /// per-instance — reproducible in isolation).
+    ///
+    /// # Panics
+    /// Panics for scale sweeps, whose inputs must never round-trip
+    /// through a `GameState` (`O(n)` allocations); use
+    /// [`SweepSpec::scale_states`] there — or [`run_spec_cells`],
+    /// which dispatches for you.
     pub fn states(&self) -> Vec<GameState> {
         match self.workload {
             Workload::Tree => workloads::tree_states(self.n, self.reps, self.seed),
             Workload::Er(p) => workloads::er_states(self.n, p, self.reps, self.seed),
+            Workload::ScaleEr { .. } => {
+                panic!("scale sweeps sample flat ScaleStates; call scale_states() instead")
+            }
+        }
+    }
+
+    /// Samples a scale sweep's initial states in flat layout.
+    ///
+    /// # Panics
+    /// Panics for exact-tier workloads; use [`SweepSpec::states`].
+    pub fn scale_states(&self) -> Vec<ScaleState> {
+        match self.workload {
+            Workload::ScaleEr { avg_deg, .. } => {
+                workloads::scale_er_states(self.n, avg_deg, self.reps, self.seed)
+            }
+            _ => panic!("exact-tier sweeps sample GameStates; call states() instead"),
         }
     }
 
@@ -235,6 +308,12 @@ impl SweepSpec {
         let mut h = match self.workload {
             Workload::Tree => mix(1, 0),
             Workload::Er(p) => mix(2, p.to_bits()),
+            // The round cap is mixed in because capped scale cells
+            // genuinely depend on it, unlike the exact tier's
+            // effectively-unreachable default cap.
+            Workload::ScaleEr { avg_deg, max_rounds } => {
+                mix(mix(3, avg_deg.to_bits()), max_rounds as u64)
+            }
         };
         h = mix(h, self.n as u64);
         h = mix(h, self.seed);
@@ -421,6 +500,165 @@ pub fn run_cells(
         .collect();
 }
 
+/// Solves one *scale-tier* cell with panic isolation, mirroring
+/// [`solve_cell_guarded`]: the rep's initial [`ScaleState`] is cloned
+/// (a handful of flat memcpys), the approximate simultaneous dynamics
+/// run under the spec's round cap, and a panic anywhere inside comes
+/// back as `Err(message)` with the [`ScaleArena`] rebuilt (its dirty
+/// set and scratch pool may have been left mid-round). Returns the
+/// run result together with the final state so callers can extract
+/// the record's network statistics without keeping the state alive.
+pub fn solve_scale_cell_guarded(
+    initial: &ScaleState,
+    spec: &SweepSpec,
+    alpha: f64,
+    k: u32,
+    arena: &mut ScaleArena,
+    inject_panic: bool,
+) -> Result<(ScaleRunResult, ScaleState), String> {
+    let Workload::ScaleEr { max_rounds, .. } = spec.workload else {
+        panic!("solve_scale_cell_guarded requires a scale workload")
+    };
+    let mut config = ScaleConfig::new(spec.scenario().spec(alpha, k));
+    config.max_rounds = max_rounds;
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected fault: panic_cell");
+        }
+        let mut state = initial.clone();
+        let result = run_scale(&mut state, &config, arena);
+        (result, state)
+    }));
+    outcome.map_err(|payload| {
+        *arena = ScaleArena::new();
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+/// Runs this shard's cells of one grid, dispatching on the spec's
+/// tier: exact workloads go through [`run_cells`] (warm-started
+/// [`CacheArena`] per repetition), scale workloads through the
+/// approximate simultaneous dynamics (one [`ScaleArena`] per
+/// repetition — no `PlayerView` slots, no `O(n)` view cache). The
+/// sink receives finished [`RunRecord`]s (or the panic payload of a
+/// failed solve) instead of raw results, so callers never touch the
+/// tier-specific result types. This is the engine's single entry
+/// point; `sink` ordering caveats are as in [`run_cells`].
+#[allow(clippy::too_many_arguments)] // mirrors run_cells
+pub fn run_spec_cells(
+    spec: &SweepSpec,
+    warm_start: bool,
+    shard: Shard,
+    skip: &(dyn Fn(usize) -> bool + Sync),
+    sink: &(dyn Fn(CellId, Result<RunRecord, String>) + Sync),
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    fault: Option<&crate::fault::FaultPlan>,
+) {
+    if spec.is_scale() {
+        run_scale_cells(spec, warm_start, shard, skip, sink, progress, fault);
+        return;
+    }
+    let states = spec.states();
+    run_cells(
+        &states,
+        &spec.alphas,
+        &spec.ks,
+        spec.scenario(),
+        warm_start,
+        shard,
+        skip,
+        &|cell, outcome| {
+            let entry = match outcome {
+                CellOutcome::Done(result) => Ok(RunRecord::new(
+                    spec.class(),
+                    spec.n,
+                    spec.alphas[cell.ai],
+                    spec.ks[cell.ki],
+                    cell.rep,
+                    &result,
+                )),
+                CellOutcome::Failed(message) => Err(message),
+            };
+            sink(cell, entry);
+        },
+        progress,
+        fault,
+    );
+}
+
+/// The scale-tier twin of [`run_cells`]: same canonical cell order,
+/// same rep-major parallel structure (one warm [`ScaleArena`] per
+/// repetition spanning its `(α, k)` column), same shard/skip/fault
+/// contract. `warm_start = false` rebuilds the arena per cell — an
+/// A/B knob like the exact tier's `--cold`; outcomes are
+/// bit-identical either way (the arena holds only scratch buffers).
+#[allow(clippy::too_many_arguments)] // mirrors run_cells
+fn run_scale_cells(
+    spec: &SweepSpec,
+    warm_start: bool,
+    shard: Shard,
+    skip: &(dyn Fn(usize) -> bool + Sync),
+    sink: &(dyn Fn(CellId, Result<RunRecord, String>) + Sync),
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    fault: Option<&crate::fault::FaultPlan>,
+) {
+    assert!(shard.count >= 1 && shard.index < shard.count, "invalid shard {shard:?}");
+    let states = spec.scale_states();
+    let reps = states.len();
+    let index_of = |ai: usize, ki: usize, rep: usize| cell_index(ai, ki, rep, spec.ks.len(), reps);
+    let my_reps: Vec<usize> = (0..reps).filter(|&r| shard.owns_rep(r)).collect();
+    let total: usize = my_reps
+        .iter()
+        .map(|&rep| {
+            (0..spec.alphas.len())
+                .flat_map(|ai| (0..spec.ks.len()).map(move |ki| (ai, ki)))
+                .filter(|&(ai, ki)| !skip(index_of(ai, ki, rep)))
+                .count()
+        })
+        .sum();
+    let done = AtomicUsize::new(0);
+    let _: Vec<()> = my_reps
+        .into_par_iter()
+        .map(|rep| {
+            let mut arena = ScaleArena::new();
+            for (ai, &alpha) in spec.alphas.iter().enumerate() {
+                for (ki, &k) in spec.ks.iter().enumerate() {
+                    let index = index_of(ai, ki, rep);
+                    if skip(index) {
+                        continue;
+                    }
+                    if !warm_start {
+                        arena = ScaleArena::new();
+                    }
+                    let inject = fault.is_some_and(|f| f.panics_at_cell(index));
+                    let entry =
+                        solve_scale_cell_guarded(&states[rep], spec, alpha, k, &mut arena, inject)
+                            .map(|(result, final_state)| {
+                                RunRecord::from_scale(
+                                    spec.class(),
+                                    alpha,
+                                    k,
+                                    rep,
+                                    &result,
+                                    &final_state,
+                                )
+                            });
+                    sink(CellId { index, ai, ki, rep }, entry);
+                    if let Some(cb) = progress {
+                        cb(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+                    }
+                }
+            }
+        })
+        .collect();
+}
+
 /// One completed dynamics run with its cell coordinates.
 #[derive(Debug)]
 pub struct CellResult {
@@ -498,6 +736,46 @@ impl RunRecord {
             min_view: m.min_view,
             avg_view: m.avg_view,
             unfairness: m.unfairness,
+        }
+    }
+
+    /// Builds a record from a finished scale-tier run. The schema is
+    /// shared with the exact tier; fields the scale tier does not
+    /// measure exhaustively are `None` (`diameter`, `quality`,
+    /// `unfairness` would each cost `O(n·m)`), and the view statistics
+    /// come from the deterministic 64-player [`ViewSample`]
+    /// (`min_view` is the sampled minimum, not the global one).
+    ///
+    /// [`ViewSample`]: ncg_dynamics::scale::ViewSample
+    pub fn from_scale(
+        class: &str,
+        alpha: f64,
+        k: u32,
+        rep: usize,
+        result: &ScaleRunResult,
+        final_state: &ScaleState,
+    ) -> Self {
+        let n = final_state.n();
+        let g = final_state.graph();
+        let max_degree =
+            (0..n as ncg_graph::NodeId).map(|u| g.neighbors(u).len()).max().unwrap_or(0);
+        RunRecord {
+            class: class.to_string(),
+            n,
+            alpha,
+            k,
+            rep,
+            converged: result.outcome.converged(),
+            capped: matches!(result.outcome, ncg_dynamics::Outcome::MaxRoundsExceeded { .. }),
+            rounds: result.outcome.rounds(),
+            moves: result.total_moves,
+            diameter: None,
+            quality: None,
+            max_degree,
+            max_bought: final_state.max_bought(),
+            min_view: result.view_sample.min,
+            avg_view: result.view_sample.avg,
+            unfairness: None,
         }
     }
 
@@ -820,6 +1098,117 @@ mod tests {
         let mut other_n = record(0.5, 2, 0);
         other_n.n = 11;
         assert_eq!(reader.index_of_record(&other_n), None, "wrong n");
+    }
+
+    /// A scale spec small enough for unit tests; two reps so the
+    /// shard partition is non-trivial.
+    fn tiny_scale_spec() -> SweepSpec {
+        SweepSpec::scale_er("s", 120, 4.0, 6, 2, 9, vec![0.8, 4.0], vec![2], Objective::Max)
+    }
+
+    #[test]
+    fn scale_spec_classifies_and_fingerprints() {
+        let spec = tiny_scale_spec();
+        assert!(spec.is_scale());
+        assert_eq!(spec.class(), "scale_er");
+        let mut other_deg = spec.clone();
+        other_deg.workload = Workload::ScaleEr { avg_deg: 5.0, max_rounds: 6 };
+        assert_ne!(spec.fingerprint(), other_deg.fingerprint(), "avg_deg is load-bearing");
+        let mut other_cap = spec.clone();
+        other_cap.workload = Workload::ScaleEr { avg_deg: 4.0, max_rounds: 7 };
+        assert_ne!(spec.fingerprint(), other_cap.fingerprint(), "round cap is load-bearing");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale sweeps sample flat ScaleStates")]
+    fn scale_spec_refuses_game_states() {
+        let _ = tiny_scale_spec().states();
+    }
+
+    #[test]
+    fn run_spec_cells_covers_scale_grids_and_records_round_trip() {
+        let spec = tiny_scale_spec();
+        let got: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+        run_spec_cells(
+            &spec,
+            true,
+            Shard::all(),
+            &|_| false,
+            &|cell, entry| got.lock().push((cell.index, entry.expect("no cell may fail"))),
+            None,
+            None,
+        );
+        let mut got = got.into_inner();
+        got.sort_by_key(|(i, _)| *i);
+        assert_eq!(got.len(), spec.cell_count());
+        for (index, rec) in &got {
+            assert_eq!(rec.class, "scale_er");
+            assert_eq!(rec.n, 120);
+            assert!(rec.rounds <= 6);
+            assert!(rec.diameter.is_none() && rec.quality.is_none() && rec.unfairness.is_none());
+            assert!(rec.avg_view >= 1.0, "sampled balls always contain their center");
+            // The journal keying used by resume and merge must accept
+            // scale records like any other class.
+            assert_eq!(spec.index_of_record(rec), Some(*index));
+            let json = serde_json::to_string(rec).unwrap();
+            let back: RunRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, rec);
+        }
+        // The dynamics do something on a random flat network: at the
+        // cheap price at least, some player buys or drops an edge.
+        assert!(got.iter().any(|(_, r)| r.moves > 0), "no cell moved at all");
+    }
+
+    #[test]
+    fn scale_cells_are_identical_warm_cold_and_across_shards() {
+        let spec = tiny_scale_spec();
+        let collect = |warm: bool, shards: usize| {
+            let got: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+            for index in 0..shards {
+                run_spec_cells(
+                    &spec,
+                    warm,
+                    Shard { count: shards, index },
+                    &|_| false,
+                    &|cell, entry| got.lock().push((cell.index, entry.expect("no failures"))),
+                    None,
+                    None,
+                );
+            }
+            let mut got = got.into_inner();
+            got.sort_by_key(|(i, _)| *i);
+            got
+        };
+        let reference = collect(true, 1);
+        assert_eq!(reference, collect(false, 1), "warm arenas must not change outcomes");
+        assert_eq!(reference, collect(true, 2), "shard partition must not change outcomes");
+    }
+
+    #[test]
+    fn panicking_scale_cell_fails_alone() {
+        use crate::fault::FaultPlan;
+        let spec = tiny_scale_spec();
+        let fault = FaultPlan::parse("panic_cell:1").unwrap();
+        let got: Mutex<Vec<(usize, Result<RunRecord, String>)>> = Mutex::new(Vec::new());
+        run_spec_cells(
+            &spec,
+            true,
+            Shard::all(),
+            &|_| false,
+            &|cell, entry| got.lock().push((cell.index, entry)),
+            None,
+            Some(&fault),
+        );
+        let mut got = got.into_inner();
+        got.sort_by_key(|(i, _)| *i);
+        assert_eq!(got.len(), spec.cell_count());
+        for (index, entry) in got {
+            if index == 1 {
+                assert!(entry.unwrap_err().contains("injected fault: panic_cell"));
+            } else {
+                assert!(entry.is_ok(), "cell {index} must survive a sibling's panic");
+            }
+        }
     }
 
     #[test]

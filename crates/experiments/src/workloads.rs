@@ -8,8 +8,10 @@
 //! cell, exactly as the paper does.
 
 use ncg_core::GameState;
+use ncg_dynamics::scale::ScaleState;
 use ncg_graph::generators;
-use rand::SeedableRng;
+use ncg_graph::NodeId;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// SplitMix64 — tiny, well-mixed seed derivation.
@@ -55,6 +57,41 @@ pub fn er_states(n: usize, p: f64, reps: usize, base_seed: u64) -> Vec<GameState
         .collect()
 }
 
+/// `reps` flat `G(n, p)` samples with coin-toss ownership for the
+/// million-node scale tier, built straight from the edge stream
+/// ([`generators::gnp_edges`] → [`ScaleState::from_owned_edges`])
+/// without ever materialising a `Graph` or `GameState`. `p` is chosen
+/// as `avg_deg / (n - 1)` so the expected degree is `avg_deg`.
+///
+/// Unlike [`er_states`] there is no connectivity conditioning: at
+/// average degree 10 a million-node sample sits *below* the
+/// `ln n ≈ 13.8` connectivity threshold, and the locality-based game
+/// is well-defined on disconnected inputs anyway (usage is computed on
+/// the radius-`k` view, and an isolated player simply stands pat).
+pub fn scale_er_states(n: usize, avg_deg: f64, reps: usize, base_seed: u64) -> Vec<ScaleState> {
+    let p = if n > 1 { (avg_deg / (n - 1) as f64).min(1.0) } else { 0.0 };
+    (0..reps)
+        .map(|rep| {
+            let mut rng = ChaCha8Rng::seed_from_u64(instance_seed(
+                base_seed,
+                0x7363_616c ^ avg_deg.to_bits(),
+                n,
+                rep,
+            ));
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            generators::gnp_edges(n, p, &mut rng, &mut edges)
+                .expect("p derived from avg_deg is always in [0, 1]");
+            // Coin-toss ownership in generation order — the same
+            // discipline as `GameState::from_graph_random_ownership`.
+            let owned: Vec<(NodeId, NodeId)> = edges
+                .into_iter()
+                .map(|(u, v)| if rng.random::<bool>() { (u, v) } else { (v, u) })
+                .collect();
+            ScaleState::from_owned_edges(n, &owned)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +129,21 @@ mod tests {
         assert_ne!(a[0], a[1], "different reps must differ");
         let c = tree_states(25, 3, 8);
         assert_ne!(a[0], c[0], "different base seeds must differ");
+    }
+
+    #[test]
+    fn scale_er_states_are_valid_and_reproducible() {
+        let a = scale_er_states(60, 6.0, 2, 42);
+        let b = scale_er_states(60, 6.0, 2, 42);
+        assert_eq!(a, b, "same seed must reproduce the same states");
+        assert_ne!(a[0], a[1], "different reps must differ");
+        for s in &a {
+            assert_eq!(s.n(), 60);
+            assert!(s.validate().is_ok());
+            assert!(s.total_bought() > 0, "G(60, 6/(n-1)) is essentially never edgeless");
+        }
+        let other_deg = scale_er_states(60, 3.0, 1, 42);
+        assert_ne!(a[0], other_deg[0], "avg_deg is part of the instance seed");
     }
 
     #[test]

@@ -48,6 +48,80 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a CSR directly from an undirected edge list, never
+    /// materialising a [`Graph`]. See [`CsrGraph::rebuild_from_edges`].
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut csr = CsrGraph::default();
+        csr.rebuild_from_edges(n, edges);
+        csr
+    }
+
+    /// Re-builds this CSR from an undirected edge list via a two-pass
+    /// counting sort, reusing the offsets/targets allocations.
+    ///
+    /// This is the scale-tier constructor: the SoA game state stores
+    /// strategies as a flat CSR and derives the adjacency by streaming
+    /// `(owner, target)` pairs through here every round — `O(n + m)`
+    /// with two contiguous passes, no per-node `Vec` in sight.
+    /// Duplicate pairs (a double-bought edge — both endpoints purchase
+    /// it) and either orientation are tolerated: rows come out sorted
+    /// ascending and deduplicated, identical to freezing the
+    /// equivalent [`Graph`].
+    ///
+    /// # Panics
+    /// Panics (debug assertion) on self-loops or endpoints `≥ n`.
+    pub fn rebuild_from_edges(&mut self, n: usize, edges: &[(NodeId, NodeId)]) {
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(u, v) in edges {
+            debug_assert!(u != v, "self-loop {u}");
+            debug_assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+            self.offsets[u as usize + 1] += 1;
+            self.offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.targets.clear();
+        self.targets.resize(2 * edges.len(), 0);
+        // Fill using offsets[u] as the row cursor; afterwards each
+        // offsets[u] has advanced to the start of row u+1, so one
+        // backward shift restores the offset array without a separate
+        // cursor allocation.
+        for &(u, v) in edges {
+            self.targets[self.offsets[u as usize] as usize] = v;
+            self.offsets[u as usize] += 1;
+            self.targets[self.offsets[v as usize] as usize] = u;
+            self.offsets[v as usize] += 1;
+        }
+        for u in (1..=n).rev() {
+            self.offsets[u] = self.offsets[u - 1];
+        }
+        self.offsets[0] = 0;
+        // Sort rows, then compact out duplicate targets in place
+        // (write cursor never passes the read cursor).
+        let mut write = 0usize;
+        let mut row_start = 0usize;
+        for u in 0..n {
+            let row_end = self.offsets[u + 1] as usize;
+            self.targets[row_start..row_end].sort_unstable();
+            let new_start = write;
+            let mut last: Option<NodeId> = None;
+            for i in row_start..row_end {
+                let t = self.targets[i];
+                if last != Some(t) {
+                    self.targets[write] = t;
+                    write += 1;
+                    last = Some(t);
+                }
+            }
+            row_start = row_end;
+            self.offsets[u] = new_start as u32;
+            self.offsets[u + 1] = write as u32;
+        }
+        self.targets.truncate(write);
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -157,7 +231,7 @@ mod tests {
     use super::*;
     use crate::bfs::bfs;
     use crate::generators;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     #[test]
@@ -246,6 +320,40 @@ mod tests {
         csr.refreeze(&generators::path(3));
         assert_eq!(csr.node_count(), 3);
         assert_eq!(csr, CsrGraph::from_graph(&generators::path(3)));
+    }
+
+    #[test]
+    fn from_edges_matches_graph_freeze() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for p in [0.0, 0.05, 0.15] {
+            let mut edges = Vec::new();
+            let mut check = ChaCha8Rng::seed_from_u64(rng.random());
+            let mut gen = check.clone();
+            generators::gnp_edges(70, p, &mut gen, &mut edges).unwrap();
+            let g = generators::gnp(70, p, &mut check).unwrap();
+            assert_eq!(CsrGraph::from_edges(70, &edges), CsrGraph::from_graph(&g));
+        }
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        // Duplicates (double-bought edges) and mixed orientation: the
+        // CSR must come out identical to the clean graph's freeze.
+        let edges = [(3u32, 1u32), (1, 3), (0, 2), (2, 1), (4, 0), (0, 4), (0, 4)];
+        let csr = CsrGraph::from_edges(5, &edges);
+        let g = Graph::from_edges(5, [(1, 3), (0, 2), (1, 2), (0, 4)]).unwrap();
+        assert_eq!(csr, CsrGraph::from_graph(&g));
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(csr.neighbors(0), &[2, 4]);
+    }
+
+    #[test]
+    fn rebuild_from_edges_reuses_allocations() {
+        let mut csr = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        csr.rebuild_from_edges(3, &[(0, 2)]);
+        assert_eq!(csr, CsrGraph::from_edges(3, &[(0, 2)]));
+        csr.rebuild_from_edges(0, &[]);
+        assert_eq!(csr.node_count(), 0);
     }
 
     #[test]

@@ -5,35 +5,33 @@ use rand::Rng;
 use crate::metrics::is_connected;
 use crate::{Graph, GraphError, NodeId};
 
-/// Samples `G(n, p)`: every unordered pair becomes an edge
-/// independently with probability `p`.
-///
-/// Uses the geometric skipping method of Batagelj–Brandes, which runs
-/// in `O(n + m)` expected time instead of `O(n²)` — the sweep binaries
-/// sample thousands of these.
-///
-/// # Errors
-/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
-pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+/// Core Batagelj–Brandes sampler: emits each sampled pair `(u, v)`
+/// with `u < v` through `emit` instead of committing to a container.
+/// Both [`gnp`] (adjacency-list `Graph`) and [`gnp_edges`] (flat edge
+/// stream for CSR construction at the million-node scale tier) drive
+/// this one loop, so they consume the RNG identically and sample the
+/// same graph for the same seed.
+fn gnp_visit<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+    mut emit: impl FnMut(NodeId, NodeId),
+) -> Result<(), GraphError> {
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
         return Err(GraphError::InvalidParameter(format!(
             "edge probability p = {p} must lie in [0, 1]"
         )));
     }
-    let mut g = Graph::new(n);
-    if n < 2 {
-        return Ok(g);
-    }
-    if p == 0.0 {
-        return Ok(g);
+    if n < 2 || p == 0.0 {
+        return Ok(());
     }
     if p == 1.0 {
         for u in 0..n as NodeId {
             for v in (u + 1)..n as NodeId {
-                g.add_edge(u, v);
+                emit(u, v);
             }
         }
-        return Ok(g);
+        return Ok(());
     }
     // Batagelj–Brandes: walk the linearised strictly-upper-triangular
     // pair index with geometric jumps of parameter p.
@@ -51,10 +49,48 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, Grap
             v += 1;
         }
         if v < n {
-            g.add_edge(w as NodeId, v as NodeId);
+            emit(w as NodeId, v as NodeId);
         }
     }
+    Ok(())
+}
+
+/// Samples `G(n, p)`: every unordered pair becomes an edge
+/// independently with probability `p`.
+///
+/// Uses the geometric skipping method of Batagelj–Brandes, which runs
+/// in `O(n + m)` expected time instead of `O(n²)` — the sweep binaries
+/// sample thousands of these.
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    let mut g = Graph::new(n);
+    gnp_visit(n, p, rng, |u, v| {
+        g.add_edge(u, v);
+    })?;
     Ok(g)
+}
+
+/// Samples `G(n, p)` as a flat edge stream, appending `(u, v)` pairs
+/// (`u < v`, generation order) to `out` without ever materialising a
+/// per-node `Vec<Vec<_>>` adjacency.
+///
+/// This is the scale-tier entry point: at `n = 10^6`, avg degree 10,
+/// the `Graph` intermediate would cost a million heap allocations
+/// before the first round even starts; the edge stream feeds
+/// [`crate::CsrGraph::from_edges`] directly. Samples the same graph as
+/// [`gnp`] for the same RNG state (both drive one shared sampler).
+///
+/// # Errors
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn gnp_edges<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+    out: &mut Vec<(NodeId, NodeId)>,
+) -> Result<(), GraphError> {
+    gnp_visit(n, p, rng, |u, v| out.push((u, v)))
 }
 
 /// Samples `G(n, p)` conditioned on connectivity: resamples until the
@@ -140,6 +176,32 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         // p = 0 can never be connected for n ≥ 2.
         assert!(gnp_connected(10, 0.0, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn edge_stream_matches_gnp_for_same_seed() {
+        for (n, p) in [(0, 0.5), (1, 0.5), (40, 0.0), (7, 1.0), (80, 0.07), (200, 0.03)] {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+            let g = gnp(n, p, &mut rng_a).unwrap();
+            let mut edges = Vec::new();
+            gnp_edges(n, p, &mut rng_b, &mut edges).unwrap();
+            assert_eq!(edges.len(), g.edge_count(), "G({n}, {p})");
+            let rebuilt = Graph::from_edges(n, edges.iter().copied()).unwrap();
+            for u in 0..n as NodeId {
+                assert_eq!(rebuilt.neighbors(u), g.neighbors(u));
+            }
+            // Both paths must leave the RNG in the same state.
+            assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn edge_stream_rejects_invalid_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut out = Vec::new();
+        assert!(gnp_edges(10, -0.1, &mut rng, &mut out).is_err());
+        assert!(gnp_edges(10, f64::NAN, &mut rng, &mut out).is_err());
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!   trees via random Prüfer sequences (Table I inputs).
 //! * [`gnp`] / [`gnp_connected`] — Erdős–Rényi `G(n,p)`; the connected
 //!   variant resamples until connected, as the paper does (Table II).
+//! * [`gnp_edges`] — the same sampler as a flat edge stream, for the
+//!   million-node scale tier that builds CSR state directly.
 //! * [`high_girth`] — randomized quasi-`q`-regular graphs of girth
 //!   `≥ g`, the stand-in for the Lazebnik–Ustimenko extremal graphs of
 //!   Lemma 3.2 (see DESIGN.md §4 for why the substitution is faithful).
@@ -16,6 +18,6 @@ mod high_girth;
 mod tree;
 
 pub use classic::{complete, cycle, grid, path, star};
-pub use gnp::{gnp, gnp_connected};
+pub use gnp::{gnp, gnp_connected, gnp_edges};
 pub use high_girth::{high_girth, HighGirthParams};
 pub use tree::{random_tree, tree_from_pruefer};

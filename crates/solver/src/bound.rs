@@ -1,0 +1,64 @@
+//! Shared pruning bounds used across best-response engines.
+//!
+//! The MaxNCG eccentricity-guess loop ([`crate::max_br`]) and the
+//! CSR-native scale-tier responder (`ncg_dynamics::scale`) prune the
+//! same way: under **uniform** edge pricing, a candidate strategy with
+//! `c` purchases costs at least `α·c + usage_floor`, so once `c`
+//! reaches `⌈(cost_to_beat − usage_floor)/α⌉` the candidate cannot
+//! strictly beat the incumbent and the whole purchase-count stratum
+//! can be skipped. Factoring the arithmetic here keeps the two engines
+//! agreeing on the boundary case (`slack` exactly integral) instead of
+//! each re-deriving the ceiling dance inline.
+
+/// Smallest purchase count that can **no longer** strictly beat
+/// `cost_to_beat` given that any candidate's usage cost is at least
+/// `usage_floor` and edges are uniformly priced at `alpha`.
+///
+/// Returns `0` when even a purchase-free strategy cannot win (the
+/// caller skips the stratum entirely), and `usize::MAX` when `alpha`
+/// is non-positive (edge counts are free, so no count-based pruning is
+/// sound). A candidate with `count` purchases is worth evaluating iff
+/// `count < purchase_cutoff(..)`.
+///
+/// Only sound for uniform edge costs and subset move rules — the same
+/// precondition [`crate::max_br::max_best_response_with`] asserts.
+#[inline]
+pub fn purchase_cutoff(cost_to_beat: f64, usage_floor: f64, alpha: f64) -> usize {
+    if alpha <= 0.0 {
+        return usize::MAX;
+    }
+    let slack = (cost_to_beat - usage_floor) / alpha;
+    if slack <= 0.0 {
+        0
+    } else {
+        // The smallest integer count with α·count ≥ slack·α, i.e. the
+        // first stratum that cannot be strictly better.
+        slack.ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_matches_inline_derivation() {
+        // slack = (10 − 4)/2 = 3: counts 0..=2 interesting, 3 is not.
+        assert_eq!(purchase_cutoff(10.0, 4.0, 2.0), 3);
+        // Non-integral slack rounds up: (10 − 4)/1.75 ≈ 3.43 → 4.
+        assert_eq!(purchase_cutoff(10.0, 4.0, 1.75), 4);
+        // Floor at or above the incumbent: nothing can win.
+        assert_eq!(purchase_cutoff(5.0, 5.0, 1.0), 0);
+        assert_eq!(purchase_cutoff(5.0, 7.0, 1.0), 0);
+        // Free edges: no pruning.
+        assert_eq!(purchase_cutoff(5.0, 1.0, 0.0), usize::MAX);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        // Exactly-integral slack: a count equal to slack yields cost
+        // α·slack + floor == cost_to_beat, which is not *strictly*
+        // better, so the cutoff equals slack itself.
+        assert_eq!(purchase_cutoff(9.0, 3.0, 2.0), 3);
+    }
+}

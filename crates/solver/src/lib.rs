@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bitset;
+pub mod bound;
 pub mod dominating;
 pub mod engine;
 pub mod front;

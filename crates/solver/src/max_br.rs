@@ -31,6 +31,7 @@ use ncg_core::{GameSpec, MoveRulePolicy, PlayerView};
 use ncg_graph::{CsrGraph, NodeId};
 
 use crate::bitset::BitSet;
+use crate::bound::purchase_cutoff;
 use crate::{Mode, SolverScratch, ADAPTIVE_FLOOR};
 
 /// Computes the MaxNCG best response for `view` under `spec`.
@@ -98,17 +99,12 @@ pub fn max_best_response_with(
         // h−1 to the engine (each source's cursor has already consumed
         // everything closer).
         grow_covers_to(scratch, h - 1);
-        // Only solutions with α·extra + h < best are interesting.
-        let cutoff = if spec.alpha > 0.0 {
-            let slack = (best.total_cost - h as f64) / spec.alpha;
-            if slack <= 0.0 {
-                continue;
-            }
-            // smallest count that is NOT interesting
-            slack.ceil() as usize
-        } else {
-            usize::MAX
-        };
+        // Only solutions with α·extra + h < best are interesting
+        // (shared cutoff arithmetic: crate::bound).
+        let cutoff = purchase_cutoff(best.total_cost, h as f64, spec.alpha);
+        if cutoff == 0 {
+            continue;
+        }
         let solution = match mode {
             // Large views fan the branch-and-bound out over the
             // work-stealing pool per the scratch's policy; the
@@ -191,15 +187,10 @@ pub fn max_best_response_cost_rebuild(spec: &GameSpec, view: &PlayerView) -> f64
             universe: universe.clone(),
             forced: view.incoming.clone(),
         };
-        let cutoff = if spec.alpha > 0.0 {
-            let slack = (best_cost - h as f64) / spec.alpha;
-            if slack <= 0.0 {
-                continue;
-            }
-            slack.ceil() as usize
-        } else {
-            usize::MAX
-        };
+        let cutoff = purchase_cutoff(best_cost, h as f64, spec.alpha);
+        if cutoff == 0 {
+            continue;
+        }
         let Some(extra) = inst.solve_exact(cutoff) else { continue };
         let eval = evaluate_max(view, &extra, &mut scratch);
         let cost = spec.total_cost(extra.len(), eval.usage());
